@@ -1,0 +1,429 @@
+// Package repro_test hosts the benchmark harness that regenerates every
+// table and figure of the paper's evaluation section, plus ablation
+// benchmarks for the design decisions called out in DESIGN.md.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment scale defaults to "quick" so the full suite finishes in
+// minutes on one core; set EMPIRICO_SCALE=default or =paper for tighter
+// models (the paper's 400-simulation scale takes hours). Measured tables are
+// printed once per run; benchmark iterations after the first reuse the
+// measurement cache, so reported times reflect modeling/search cost rather
+// than simulation.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/doe"
+	"repro/internal/exp"
+	"repro/internal/model"
+	"repro/internal/search"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+var (
+	studyOnce    sync.Once
+	sharedStudy  *exp.Study
+	sharedSearch []exp.SearchResult
+	studyErr     error
+	printOnce    sync.Once
+)
+
+func benchScale() exp.Scale {
+	name := os.Getenv("EMPIRICO_SCALE")
+	if name == "" {
+		name = "quick"
+	}
+	sc, err := exp.ScaleByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// study builds (once) the shared measurement study all table/figure
+// benchmarks reuse — mirroring the paper, where one 400-point design per
+// program feeds every analysis.
+func study(b *testing.B) *exp.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		h := exp.NewHarness(benchScale())
+		h.CacheDir = ".empirico-cache"
+		h.Log = os.Stderr
+		fmt.Fprintf(os.Stderr, "[bench] building shared study at scale %q\n", h.Scale.Name)
+		sharedStudy, studyErr = h.RunStudy(nil, workloads.Train)
+		if studyErr != nil {
+			return
+		}
+		sharedSearch, studyErr = sharedStudy.SearchSettings(nil)
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return sharedStudy
+}
+
+func printTable(name, txt string) {
+	fmt.Fprintf(os.Stderr, "\n===== %s =====\n%s\n", name, txt)
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		txt, rows := s.Table3()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		if i == 0 {
+			printTable("Table 3", txt)
+			avg := 0.0
+			for _, r := range rows {
+				avg += r.RBF
+			}
+			b.ReportMetric(avg/float64(len(rows)), "rbf-err-%")
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		txt, cells := s.Table4(0)
+		if len(cells) == 0 {
+			b.Fatal("no cells")
+		}
+		if i == 0 {
+			printTable("Table 4", txt)
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		txt := exp.Table6(sharedSearch, s.Harness.Space())
+		if txt == "" {
+			b.Fatal("empty table")
+		}
+		if i == 0 {
+			printTable("Table 6", txt)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		txt, rows, err := s.Fig7(sharedSearch, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTable("Figure 7", txt)
+			avg := 0.0
+			for _, r := range rows {
+				avg += 100 * (r.ActualGA - 1)
+			}
+			b.ReportMetric(avg/float64(len(rows)), "ga-speedup-%")
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		txt, rows, err := s.Table7(sharedSearch, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTable("Table 7", txt)
+			avg := 0.0
+			for _, r := range rows {
+				avg += r.Typical
+			}
+			b.ReportMetric(avg/float64(len(rows)), "ref-speedup-%")
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		txt, series := s.Fig5()
+		if len(series) == 0 {
+			b.Fatal("no series")
+		}
+		if i == 0 {
+			printTable("Figure 5", txt)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		txt, pairs := s.Fig6(nil)
+		if len(pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+		if i == 0 {
+			printTable("Figure 6", txt)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	h := exp.NewHarness(benchScale())
+	h.CacheDir = ".empirico-cache"
+	for i := 0; i < b.N; i++ {
+		txt, res, err := h.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cells) == 0 {
+			b.Fatal("no cells")
+		}
+		if i == 0 {
+			printTable("Figure 3", txt)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw detailed-simulation speed
+// (instructions simulated per second, reported as instrs/op).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w := workloads.MustGet("179.art", workloads.Train)
+	prog, _, err := compiler.Compile(w.Parse(), compiler.O2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		st, err := sim.Simulate(prog, cfg, 500_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = st.Instructions
+	}
+	b.ReportMetric(float64(instrs), "instrs/op")
+}
+
+// BenchmarkCompile measures full-pipeline compilation speed on the largest
+// workload.
+func BenchmarkCompile(b *testing.B) {
+	w := workloads.MustGet("255.vortex", workloads.Train)
+	opts := compiler.O3()
+	opts.UnrollLoops = true
+	for i := 0; i < b.N; i++ {
+		if _, _, err := compiler.Compile(w.Parse(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design decisions from DESIGN.md) ---
+
+func measureCycles(b *testing.B, w workloads.Workload, opts compiler.Options, cfg sim.Config) float64 {
+	b.Helper()
+	opts.TargetIssueWidth = cfg.IssueWidth
+	prog, _, err := compiler.Compile(w.Parse(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := sim.Simulate(prog, cfg, 500_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(st.Cycles)
+}
+
+// BenchmarkAblationFramePointer quantifies the -fomit-frame-pointer effect
+// the paper singles out: one extra allocatable register plus shorter
+// prologues.
+func BenchmarkAblationFramePointer(b *testing.B) {
+	w := workloads.MustGet("255.vortex", workloads.Train)
+	cfg := sim.DefaultConfig()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		with := compiler.O2()
+		without := compiler.O2()
+		without.OmitFramePointer = false
+		gain = 100 * (measureCycles(b, w, without, cfg)/measureCycles(b, w, with, cfg) - 1)
+	}
+	b.ReportMetric(gain, "omitfp-gain-%")
+}
+
+// BenchmarkAblationInlineICache shows the inlining ↔ instruction-cache
+// interaction: inlining's benefit at a large icache versus a tiny one.
+func BenchmarkAblationInlineICache(b *testing.B) {
+	w := workloads.MustGet("255.vortex", workloads.Train)
+	var small, large float64
+	for i := 0; i < b.N; i++ {
+		inline := compiler.O2()
+		inline.InlineFunctions = true
+		inline.MaxInlineInsnsAuto = 150
+		inline.InlineUnitGrowth = 75
+		noinline := compiler.O2()
+
+		cfgSmall := sim.DefaultConfig()
+		cfgSmall.ICacheKB = 8
+		cfgLarge := sim.DefaultConfig()
+		cfgLarge.ICacheKB = 128
+
+		small = 100 * (measureCycles(b, w, noinline, cfgSmall)/measureCycles(b, w, inline, cfgSmall) - 1)
+		large = 100 * (measureCycles(b, w, noinline, cfgLarge)/measureCycles(b, w, inline, cfgLarge) - 1)
+	}
+	b.ReportMetric(small, "inline-gain-8KB-%")
+	b.ReportMetric(large, "inline-gain-128KB-%")
+}
+
+// BenchmarkAblationUnroll sweeps the unroll factor on art and reports the
+// best factor and its gain — Figure 3's non-monotone response in one number.
+func BenchmarkAblationUnroll(b *testing.B) {
+	w := workloads.MustGet("179.art", workloads.Train)
+	cfg := sim.DefaultConfig()
+	var bestFactor float64
+	var bestGain float64
+	for i := 0; i < b.N; i++ {
+		base := measureCycles(b, w, compiler.O2(), cfg)
+		bestFactor, bestGain = 1, 0
+		for _, f := range []int{2, 4, 8, 12} {
+			opts := compiler.O2()
+			opts.UnrollLoops = true
+			opts.MaxUnrollTimes = f
+			gain := 100 * (base/measureCycles(b, w, opts, cfg) - 1)
+			if gain > bestGain {
+				bestGain, bestFactor = gain, float64(f)
+			}
+		}
+	}
+	b.ReportMetric(bestFactor, "best-unroll-factor")
+	b.ReportMetric(bestGain, "best-unroll-gain-%")
+}
+
+// BenchmarkAblationDesign compares model error from a D-optimal training
+// design against uniform-random designs of the same size.
+func BenchmarkAblationDesign(b *testing.B) {
+	h := exp.NewHarness(exp.Scale{Name: "ablation", TrainPoints: 30, TestPoints: 12})
+	h.CacheDir = ".empirico-cache"
+	w := workloads.MustGet("179.art", workloads.Train)
+	space := h.Space()
+	testPts := h.TestDesign()
+
+	buildErr := func(train []doe.Point) float64 {
+		trainDS, err := h.BuildDataset(w, train)
+		if err != nil {
+			b.Fatal(err)
+		}
+		testDS, err := h.BuildDataset(w, testPts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := exp.FitRBF(trainDS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return model.TestError(m, testDS)
+	}
+
+	var dopt, random float64
+	for i := 0; i < b.N; i++ {
+		dopt = buildErr(h.TrainDesign())
+		rng := rand.New(rand.NewSource(99))
+		var pts []doe.Point
+		for j := 0; j < 30; j++ {
+			pts = append(pts, space.RandomPoint(rng))
+		}
+		random = buildErr(pts)
+	}
+	b.ReportMetric(dopt, "doptimal-err-%")
+	b.ReportMetric(random, "random-err-%")
+}
+
+// BenchmarkAblationRBFCenters compares regression-tree center selection
+// against the naive all-training-points choice at small sample size.
+func BenchmarkAblationRBFCenters(b *testing.B) {
+	h := exp.NewHarness(exp.Scale{Name: "ablation", TrainPoints: 40, TestPoints: 12})
+	h.CacheDir = ".empirico-cache"
+	w := workloads.MustGet("256.bzip2", workloads.Train)
+	trainDS, err := h.BuildDataset(w, h.TrainDesign())
+	if err != nil {
+		b.Fatal(err)
+	}
+	testDS, err := h.BuildDataset(w, h.TestDesign())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ltrain := model.LogDataset(trainDS)
+
+	var tree, allPts float64
+	for i := 0; i < b.N; i++ {
+		mt, err := model.FitRBF(ltrain, model.RBFOptions{Kernel: model.Multiquadric})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree = model.TestError(model.LogModel{Inner: mt}, testDS)
+		// All-points centers: minLeaf 1 makes every training point a leaf.
+		ma, err := model.FitRBF(ltrain, model.RBFOptions{Kernel: model.Multiquadric, LeafSizes: []int{1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		allPts = model.TestError(model.LogModel{Inner: ma}, testDS)
+	}
+	b.ReportMetric(tree, "tree-centers-err-%")
+	b.ReportMetric(allPts, "allpoint-centers-err-%")
+}
+
+// BenchmarkAblationSearch compares the GA against random search and hill
+// climbing at an equal model-evaluation budget, on a real fitted model.
+func BenchmarkAblationSearch(b *testing.B) {
+	s := study(b)
+	pd := s.Programs[0]
+	m := s.Models[pd.Workload.Key()]["rbf"]
+	space := s.Harness.Space()
+	march := doe.FromConfig(sim.DefaultConfig())
+	frozen := map[int]int64{}
+	for i, v := range march {
+		frozen[doe.NumCompilerVars+i] = v
+	}
+	prob := search.Problem{Space: space, Model: m, Frozen: frozen}
+
+	var ga, rs, hc float64
+	for i := 0; i < b.N; i++ {
+		g := search.Optimize(prob, search.GAOptions{Population: 40, Generations: 24}, rand.New(rand.NewSource(1)))
+		r := search.RandomSearch(prob, g.Evals, rand.New(rand.NewSource(1)))
+		h := search.HillClimb(prob, g.Evals, rand.New(rand.NewSource(1)))
+		ga, rs, hc = g.Predicted, r.Predicted, h.Predicted
+	}
+	base := ga
+	b.ReportMetric(rs/base, "random-vs-ga")
+	b.ReportMetric(hc/base, "hillclimb-vs-ga")
+}
+
+// BenchmarkSMARTSSpeedup reports the wall-clock ratio of detailed vs sampled
+// simulation on the largest ref workload.
+func BenchmarkSMARTSSpeedup(b *testing.B) {
+	w := workloads.MustGet("181.mcf", workloads.Ref)
+	prog, _, err := compiler.Compile(w.Parse(), compiler.O2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(prog, cfg, 2_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// plotfigs turns the JSON report written by `empirico -json` into SVG
+// figures mirroring the paper's: Figure 3 (unroll × icache response with the
+// linear-model overlay), Figure 5 (learning curves), Figure 6 (actual vs
+// predicted scatter) and Figure 7 (speedup bars as grouped points).
+//
+// Usage:
+//
+//	empirico -exp all -scale default -json report.json
+//	plotfigs -in report.json -out figs/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/exp"
+	"repro/internal/plot"
+)
+
+func main() {
+	in := flag.String("in", "report.json", "JSON report from empirico -json")
+	out := flag.String("out", "figs", "output directory for SVG files")
+	flag.Parse()
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var rep exp.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	wrote := 0
+	write := func(name string, c *plot.Chart) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(c.SVG()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+		wrote++
+	}
+
+	if rep.Fig3 != nil {
+		write("fig3.svg", fig3Chart(rep.Fig3))
+	}
+	if len(rep.Fig5) > 0 {
+		write("fig5.svg", fig5Chart(rep.Fig5))
+	}
+	if len(rep.Fig6) > 0 {
+		write("fig6.svg", fig6Chart(rep.Fig6))
+	}
+	if len(rep.Fig7) > 0 {
+		write("fig7.svg", fig7Chart(rep.Fig7))
+	}
+	if wrote == 0 {
+		fatal(fmt.Errorf("plotfigs: report contains no figure data (run empirico -exp all)"))
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fig3Chart(res *exp.Fig3Result) *plot.Chart {
+	byIC := map[int]map[int]float64{}
+	for _, cell := range res.Cells {
+		if byIC[cell.ICacheKB] == nil {
+			byIC[cell.ICacheKB] = map[int]float64{}
+		}
+		byIC[cell.ICacheKB][cell.UnrollTimes] = cell.Cycles
+	}
+	var ics []int
+	for ic := range byIC {
+		ics = append(ics, ic)
+	}
+	sort.Ints(ics)
+	c := &plot.Chart{
+		Title:  "Figure 3: art, execution time vs max unroll factor",
+		XLabel: "max unroll factor",
+		YLabel: "Mcycles",
+	}
+	for _, ic := range ics {
+		var ufs []int
+		for uf := range byIC[ic] {
+			ufs = append(ufs, uf)
+		}
+		sort.Ints(ufs)
+		s := plot.Series{Name: fmt.Sprintf("%dKB icache", ic)}
+		for _, uf := range ufs {
+			s.X = append(s.X, float64(uf))
+			s.Y = append(s.Y, byIC[ic][uf]/1e6)
+		}
+		c.Series = append(c.Series, s)
+	}
+	// Linear-model overlay for the 8KB icache.
+	var ufs []int
+	for uf := range res.LinearPred8KB {
+		ufs = append(ufs, uf)
+	}
+	sort.Ints(ufs)
+	lin := plot.Series{Name: "linear model @8KB", Dashed: true}
+	for _, uf := range ufs {
+		lin.X = append(lin.X, float64(uf))
+		lin.Y = append(lin.Y, res.LinearPred8KB[uf]/1e6)
+	}
+	c.Series = append(c.Series, lin)
+	return c
+}
+
+func fig5Chart(series map[string][]exp.Fig5Point) *plot.Chart {
+	c := &plot.Chart{
+		Title:  "Figure 5: RBF error vs training set size",
+		XLabel: "training points",
+		YLabel: "mean test error (%)",
+		YZero:  true,
+	}
+	for _, prog := range sortedKeys(series) {
+		s := plot.Series{Name: prog}
+		for _, p := range series[prog] {
+			s.X = append(s.X, float64(p.Size))
+			s.Y = append(s.Y, p.MeanErr)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+func fig6Chart(pairs map[string][]exp.Fig6Pair) *plot.Chart {
+	c := &plot.Chart{
+		Title:    "Figure 6: actual vs predicted execution time",
+		XLabel:   "actual (Mcycles)",
+		YLabel:   "predicted (Mcycles)",
+		Scatter:  true,
+		Diagonal: true,
+	}
+	for _, prog := range sortedKeys(pairs) {
+		s := plot.Series{Name: prog}
+		for _, p := range pairs[prog] {
+			s.X = append(s.X, p.Actual/1e6)
+			s.Y = append(s.Y, p.Predicted/1e6)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+func fig7Chart(rows []exp.SpeedupRow) *plot.Chart {
+	c := &plot.Chart{
+		Title:   "Figure 7: speedup over -O2 at model-prescribed settings",
+		XLabel:  "benchmark index (grouped by configuration)",
+		YLabel:  "speedup",
+		Scatter: true,
+	}
+	configs := []string{"constrained", "typical", "aggressive"}
+	progIdx := map[string]int{}
+	for _, r := range rows {
+		if _, ok := progIdx[r.Program]; !ok {
+			progIdx[r.Program] = len(progIdx)
+		}
+	}
+	for ci, cfg := range configs {
+		actual := plot.Series{Name: cfg + " actual"}
+		pred := plot.Series{Name: cfg + " predicted"}
+		for _, r := range rows {
+			if r.Config != cfg {
+				continue
+			}
+			x := float64(progIdx[r.Program]) + float64(ci)*0.25 - 0.25
+			actual.X = append(actual.X, x)
+			actual.Y = append(actual.Y, r.ActualGA)
+			pred.X = append(pred.X, x)
+			pred.Y = append(pred.Y, r.PredictedGA)
+		}
+		c.Series = append(c.Series, actual, pred)
+	}
+	return c
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

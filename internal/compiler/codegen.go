@@ -1,0 +1,277 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// MachineFunc is the machine-level form of one function before final layout
+// and linking: per-block code with symbolic branch targets plus the epilogue
+// template emitted at each return.
+type MachineFunc struct {
+	Name   string
+	Blocks []*MachineBlock
+	Entry  *MachineBlock
+	Epilog []isa.Instr // restore sequence ending in ret
+}
+
+// MachineBlock carries the generated instructions for one IR block.
+type MachineBlock struct {
+	ID   int
+	Code []MInstr
+	Term MTerm
+	Freq float64
+}
+
+// MInstr is a machine instruction plus an optional call-target symbol
+// (resolved at link time).
+type MInstr struct {
+	In     isa.Instr
+	Callee string
+}
+
+// MTermKind discriminates block terminators.
+type MTermKind uint8
+
+const (
+	TermJmp MTermKind = iota
+	TermBr
+	TermRet
+)
+
+// MTerm is a symbolic block terminator. For TermBr, Cond holds the physical
+// register tested against zero; True is the target when Cond != 0.
+type MTerm struct {
+	Kind        MTermKind
+	Cond        uint8
+	True, False *MachineBlock
+}
+
+// genCtx carries per-function state during instruction selection.
+type genCtx struct {
+	f         *ir.Func
+	alloc     *Allocation
+	omitFP    bool
+	nonLeaf   bool
+	frameSize int64
+	slotBase  uint8 // SP or FP
+	slotOff   func(slot int32) int64
+	globals   map[string]int64 // symbol -> absolute address
+}
+
+const (
+	scratchA = 30
+	scratchB = 31
+)
+
+// GenFunc lowers one IR function to machine code. globals maps symbol names
+// to absolute data addresses.
+func GenFunc(f *ir.Func, alloc *Allocation, omitFP bool, globals map[string]int64) (*MachineFunc, error) {
+	ctx := &genCtx{f: f, alloc: alloc, omitFP: omitFP, globals: globals}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpCall {
+				ctx.nonLeaf = true
+				if len(b.Instrs[i].Args) > isa.NumArgRegs {
+					return nil, fmt.Errorf("compiler: %s: call to %s has %d args; max %d",
+						f.Name, b.Instrs[i].Sym, len(b.Instrs[i].Args), isa.NumArgRegs)
+				}
+			}
+		}
+	}
+
+	// Frame layout: [0, slots*8) spills, then saved registers.
+	saved := append([]int16{}, alloc.UsedRegs...)
+	if !omitFP {
+		saved = append(saved, isa.RegFP)
+	}
+	if ctx.nonLeaf {
+		saved = append(saved, isa.RegRA)
+	}
+	ctx.frameSize = int64(alloc.NumSlots+len(saved)) * 8
+
+	if omitFP {
+		ctx.slotBase = isa.RegSP
+		ctx.slotOff = func(s int32) int64 { return int64(s) * 8 }
+	} else {
+		ctx.slotBase = isa.RegFP
+		frame := ctx.frameSize
+		ctx.slotOff = func(s int32) int64 { return int64(s)*8 - frame }
+	}
+
+	mf := &MachineFunc{Name: f.Name}
+	mb := map[*ir.Block]*MachineBlock{}
+	for _, b := range f.Blocks {
+		nb := &MachineBlock{ID: b.ID, Freq: b.Freq}
+		mb[b] = nb
+		mf.Blocks = append(mf.Blocks, nb)
+	}
+	mf.Entry = mb[f.Entry]
+
+	// Prologue in the entry block.
+	if ctx.frameSize > 0 {
+		emit(mf.Entry, isa.Instr{Op: isa.OpAddi, Rd: isa.RegSP, Rs1: isa.RegSP, Imm: -ctx.frameSize})
+	}
+	saveOff := int64(alloc.NumSlots) * 8
+	for _, r := range saved {
+		emit(mf.Entry, isa.Instr{Op: isa.OpStore, Rs1: isa.RegSP, Rs2: uint8(r), Imm: saveOff})
+		saveOff += 8
+	}
+	if !omitFP {
+		emit(mf.Entry, isa.Instr{Op: isa.OpAddi, Rd: isa.RegFP, Rs1: isa.RegSP, Imm: ctx.frameSize})
+	}
+	// Move parameters from argument registers to their assigned homes.
+	for i, p := range f.Params {
+		argReg := uint8(isa.RegArg0 + i)
+		if r := alloc.Reg[p]; r >= 0 {
+			emit(mf.Entry, isa.Instr{Op: isa.OpAdd, Rd: uint8(r), Rs1: argReg, Rs2: isa.RegZero})
+		} else if s := alloc.Slot[p]; s >= 0 {
+			emit(mf.Entry, isa.Instr{Op: isa.OpStore, Rs1: ctx.slotBase, Rs2: argReg, Imm: ctx.slotOff(s)})
+		}
+	}
+
+	// Epilogue template.
+	restoreOff := int64(alloc.NumSlots) * 8
+	for _, r := range saved {
+		mf.Epilog = append(mf.Epilog, isa.Instr{Op: isa.OpLoad, Rd: uint8(r), Rs1: isa.RegSP, Imm: restoreOff})
+		restoreOff += 8
+	}
+	if ctx.frameSize > 0 {
+		mf.Epilog = append(mf.Epilog, isa.Instr{Op: isa.OpAddi, Rd: isa.RegSP, Rs1: isa.RegSP, Imm: ctx.frameSize})
+	}
+	mf.Epilog = append(mf.Epilog, isa.Instr{Op: isa.OpRet})
+
+	// Bodies.
+	for _, b := range f.Blocks {
+		nb := mb[b]
+		for i := range b.Instrs {
+			if err := ctx.genInstr(nb, &b.Instrs[i], mb, b); err != nil {
+				return nil, err
+			}
+		}
+		if b.Term() == nil {
+			return nil, fmt.Errorf("compiler: %s: b%d lacks a terminator", f.Name, b.ID)
+		}
+	}
+	return mf, nil
+}
+
+func emit(b *MachineBlock, in isa.Instr) { b.Code = append(b.Code, MInstr{In: in}) }
+
+// srcReg materializes IR value v into a physical register, using the given
+// scratch register if v is spilled.
+func (ctx *genCtx) srcReg(b *MachineBlock, v ir.Value, scratch uint8) uint8 {
+	if r := ctx.alloc.Reg[v]; r >= 0 {
+		return uint8(r)
+	}
+	s := ctx.alloc.Slot[v]
+	if s < 0 {
+		// Dead value that was never allocated: reads are undefined; use r0.
+		return isa.RegZero
+	}
+	emit(b, isa.Instr{Op: isa.OpLoad, Rd: scratch, Rs1: ctx.slotBase, Imm: ctx.slotOff(s)})
+	return scratch
+}
+
+// dstReg returns the register an IR def should target, plus a spill-store
+// closure to run after the defining instruction is emitted.
+func (ctx *genCtx) dstReg(b *MachineBlock, v ir.Value) (uint8, func()) {
+	if r := ctx.alloc.Reg[v]; r >= 0 {
+		return uint8(r), func() {}
+	}
+	s := ctx.alloc.Slot[v]
+	if s < 0 {
+		return scratchA, func() {} // dead def: compute and drop
+	}
+	return scratchA, func() {
+		emit(b, isa.Instr{Op: isa.OpStore, Rs1: ctx.slotBase, Rs2: scratchA, Imm: ctx.slotOff(s)})
+	}
+}
+
+var irToMachineOp = map[ir.Op]isa.Op{
+	ir.OpAdd: isa.OpAdd, ir.OpSub: isa.OpSub, ir.OpMul: isa.OpMul,
+	ir.OpDiv: isa.OpDiv, ir.OpRem: isa.OpRem, ir.OpAnd: isa.OpAnd,
+	ir.OpOr: isa.OpOr, ir.OpXor: isa.OpXor, ir.OpShl: isa.OpShl,
+	ir.OpShr: isa.OpShr, ir.OpLt: isa.OpSlt, ir.OpLe: isa.OpSle,
+	ir.OpEq: isa.OpSeq, ir.OpNe: isa.OpSne,
+}
+
+func (ctx *genCtx) genInstr(nb *MachineBlock, in *ir.Instr, mb map[*ir.Block]*MachineBlock, b *ir.Block) error {
+	switch in.Op {
+	case ir.OpNop:
+	case ir.OpConst:
+		rd, fin := ctx.dstReg(nb, in.Dst)
+		emit(nb, isa.Instr{Op: isa.OpLui, Rd: rd, Imm: in.Imm})
+		fin()
+	case ir.OpAddr:
+		addr, ok := ctx.globals[in.Sym]
+		if !ok {
+			return fmt.Errorf("compiler: %s: unknown global %q", ctx.f.Name, in.Sym)
+		}
+		rd, fin := ctx.dstReg(nb, in.Dst)
+		emit(nb, isa.Instr{Op: isa.OpLui, Rd: rd, Imm: addr})
+		fin()
+	case ir.OpCopy:
+		rs := ctx.srcReg(nb, in.X, scratchA)
+		rd, fin := ctx.dstReg(nb, in.Dst)
+		if rd != rs {
+			emit(nb, isa.Instr{Op: isa.OpAdd, Rd: rd, Rs1: rs, Rs2: isa.RegZero})
+		}
+		fin()
+	case ir.OpLoad:
+		rs := ctx.srcReg(nb, in.X, scratchA)
+		rd, fin := ctx.dstReg(nb, in.Dst)
+		emit(nb, isa.Instr{Op: isa.OpLoad, Rd: rd, Rs1: rs})
+		fin()
+	case ir.OpStore:
+		ra := ctx.srcReg(nb, in.X, scratchA)
+		rv := ctx.srcReg(nb, in.Y, scratchB)
+		emit(nb, isa.Instr{Op: isa.OpStore, Rs1: ra, Rs2: rv})
+	case ir.OpPrefetch:
+		ra := ctx.srcReg(nb, in.X, scratchA)
+		emit(nb, isa.Instr{Op: isa.OpPrefetch, Rs1: ra})
+	case ir.OpCall:
+		for i, a := range in.Args {
+			argReg := uint8(isa.RegArg0 + i)
+			if r := ctx.alloc.Reg[a]; r >= 0 {
+				emit(nb, isa.Instr{Op: isa.OpAdd, Rd: argReg, Rs1: uint8(r), Rs2: isa.RegZero})
+			} else if s := ctx.alloc.Slot[a]; s >= 0 {
+				emit(nb, isa.Instr{Op: isa.OpLoad, Rd: argReg, Rs1: ctx.slotBase, Imm: ctx.slotOff(s)})
+			} else {
+				emit(nb, isa.Instr{Op: isa.OpAdd, Rd: argReg, Rs1: isa.RegZero, Rs2: isa.RegZero})
+			}
+		}
+		nb.Code = append(nb.Code, MInstr{In: isa.Instr{Op: isa.OpCall}, Callee: in.Sym})
+		if r := ctx.alloc.Reg[in.Dst]; r >= 0 {
+			emit(nb, isa.Instr{Op: isa.OpAdd, Rd: uint8(r), Rs1: isa.RegRV, Rs2: isa.RegZero})
+		} else if s := ctx.alloc.Slot[in.Dst]; s >= 0 {
+			emit(nb, isa.Instr{Op: isa.OpStore, Rs1: ctx.slotBase, Rs2: isa.RegRV, Imm: ctx.slotOff(s)})
+		}
+	case ir.OpBr:
+		cond := ctx.srcReg(nb, in.X, scratchA)
+		nb.Term = MTerm{Kind: TermBr, Cond: cond, True: mb[b.Succs[0]], False: mb[b.Succs[1]]}
+	case ir.OpJmp:
+		nb.Term = MTerm{Kind: TermJmp, True: mb[b.Succs[0]]}
+	case ir.OpRet:
+		if in.X != ir.NoValue {
+			rs := ctx.srcReg(nb, in.X, scratchA)
+			emit(nb, isa.Instr{Op: isa.OpAdd, Rd: isa.RegRV, Rs1: rs, Rs2: isa.RegZero})
+		} else {
+			emit(nb, isa.Instr{Op: isa.OpAdd, Rd: isa.RegRV, Rs1: isa.RegZero, Rs2: isa.RegZero})
+		}
+		nb.Term = MTerm{Kind: TermRet}
+	default: // binary arithmetic
+		mop, ok := irToMachineOp[in.Op]
+		if !ok {
+			return fmt.Errorf("compiler: %s: cannot select %s", ctx.f.Name, in)
+		}
+		rx := ctx.srcReg(nb, in.X, scratchA)
+		ry := ctx.srcReg(nb, in.Y, scratchB)
+		rd, fin := ctx.dstReg(nb, in.Dst)
+		emit(nb, isa.Instr{Op: mop, Rd: rd, Rs1: rx, Rs2: ry})
+		fin()
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package compiler
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runExpr compiles `return <expr>;` at O0 and O3 and checks both equal want.
+func runExpr(t *testing.T, decl, expr string, want int64) {
+	t.Helper()
+	src := fmt.Sprintf("%s\nint main() { return %s; }", decl, expr)
+	for _, opts := range []Options{O0(), O3()} {
+		prog, _, err := CompileSource(src, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		exe := sim.NewExecutor(prog)
+		_, rv, err := exe.Run(1_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		if rv != want {
+			t.Errorf("%s = %d, want %d", expr, rv, want)
+		}
+	}
+}
+
+func TestConformanceArithmeticEdgeCases(t *testing.T) {
+	cases := []struct {
+		decl, expr string
+		want       int64
+	}{
+		// Division and remainder with negative operands: Go semantics
+		// (truncation toward zero).
+		{"int a = -7; int b = 2;", "a / b", -7 / 2},
+		{"int a = -7; int b = 2;", "a % b", -7 % 2},
+		{"int a = 7; int b = -2;", "a / b", 7 / -2},
+		{"int a = 7; int b = -2;", "a % b", 7 % -2},
+		// Division by zero yields zero by ISA convention.
+		{"int a = 5; int z = 0;", "a / z", 0},
+		{"int a = 5; int z = 0;", "a % z", 0},
+		// Shift counts are masked to 6 bits.
+		{"int a = 1; int s = 64;", "a << s", 1}, // 64 & 63 == 0
+		{"int a = 256; int s = 65;", "a >> s", 128},
+		// Arithmetic right shift of negatives.
+		{"int a = -8; int s = 1;", "a >> s", -4},
+		// Comparison results are exactly 0/1.
+		{"int a = 3; int b = 4;", "(a < b) + (a > b) * 10 + (a == b) * 100 + (a != b) * 1000", 1001},
+		{"int a = 4; int b = 4;", "(a <= b) + (a >= b) * 10", 11},
+		// Logical operators normalize to 0/1.
+		{"int a = 7; int b = 0;", "(a && a) + (a && b) * 10 + (b || a) * 100 + (b || b) * 1000", 101},
+		// Unary.
+		{"int a = 0;", "!a + !!a * 10", 1},
+		{"int a = -5;", "-a", 5},
+		// Wrapping 64-bit multiplication.
+		{"int a = 4611686018427387904; int b = 4;", "a * b",
+			func() int64 { a := int64(4611686018427387904); return a * 4 }()},
+	}
+	for _, c := range cases {
+		runExpr(t, c.decl, c.expr, c.want)
+	}
+}
+
+func TestConformanceEvaluationOrder(t *testing.T) {
+	// Side-effecting calls in an expression evaluate left to right.
+	src := `
+int log = 0;
+int mark(int v) {
+	log = log * 10 + v;
+	return v;
+}
+int main() {
+	int x = mark(1) + mark(2) * mark(3);
+	return log * 1000 + x;
+}`
+	for _, opts := range []Options{O0(), O2(), O3()} {
+		prog, _, err := CompileSource(src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exe := sim.NewExecutor(prog)
+		_, rv, err := exe.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rv != 123*1000+7 {
+			t.Fatalf("evaluation order changed: got %d", rv)
+		}
+	}
+}
+
+func TestConformanceShortCircuitSkipsSideEffects(t *testing.T) {
+	src := `
+int calls = 0;
+int bump(int v) {
+	calls = calls + 1;
+	return v;
+}
+int main() {
+	int r = 0;
+	if (bump(0) && bump(1)) { r = 100; }
+	if (bump(1) || bump(1)) { r = r + 10; }
+	return calls * 1000 + r;
+}`
+	for _, opts := range []Options{O0(), O3()} {
+		prog, _, err := CompileSource(src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exe := sim.NewExecutor(prog)
+		_, rv, err := exe.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rv != 2*1000+10 {
+			t.Fatalf("short-circuit violated: got %d", rv)
+		}
+	}
+}
+
+func TestConformanceGlobalAliasing(t *testing.T) {
+	// Stores through one name must be visible through subsequent loads,
+	// across calls, under all optimization levels.
+	src := `
+int shared = 10;
+int touch() {
+	shared = shared + 1;
+	return 0;
+}
+int main() {
+	int before = shared;
+	touch();
+	int after = shared;
+	shared = 99;
+	touch();
+	return before * 10000 + after * 100 + shared;
+}`
+	for _, opts := range []Options{O0(), O2(), O3()} {
+		prog, _, err := CompileSource(src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exe := sim.NewExecutor(prog)
+		_, rv, err := exe.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rv != 10*10000+11*100+100 {
+			t.Fatalf("global aliasing broken: got %d", rv)
+		}
+	}
+}
+
+func TestConformanceDeepCallChain(t *testing.T) {
+	// Deep non-tail recursion exercises stack discipline and RA save/
+	// restore under both frame-pointer regimes.
+	src := `
+int depth(int n) {
+	if (n == 0) {
+		return 0;
+	}
+	return 1 + depth(n - 1);
+}
+int main() {
+	return depth(500);
+}`
+	for _, omit := range []bool{true, false} {
+		opts := O2()
+		opts.OmitFramePointer = omit
+		prog, _, err := CompileSource(src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exe := sim.NewExecutor(prog)
+		_, rv, err := exe.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rv != 500 {
+			t.Fatalf("omitFP=%v: depth = %d", omit, rv)
+		}
+	}
+}

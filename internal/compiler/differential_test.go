@@ -1,0 +1,94 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/sim"
+)
+
+// TestDifferentialRandomPrograms generates random MiniC programs and checks
+// that every optimization configuration computes the same result as -O0 —
+// the strongest end-to-end correctness check we have for the pass pipeline,
+// register allocator and code generator.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	count := 60
+	if testing.Short() {
+		count = 10
+	}
+	configs := differentialConfigs()
+	for seed := int64(0); seed < int64(count); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := lang.GenProgram(rng)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: generator produced unparseable program: %v\n%s", seed, err, src)
+		}
+		if err := lang.Check(prog); err != nil {
+			t.Fatalf("seed %d: generator produced invalid program: %v\n%s", seed, err, src)
+		}
+		var ref int64
+		for ci, opts := range configs {
+			bin, _, err := Compile(lang.MustParse(src), opts)
+			if err != nil {
+				t.Fatalf("seed %d config %d: compile: %v\n%s", seed, ci, err, src)
+			}
+			exe := sim.NewExecutor(bin)
+			_, rv, err := exe.Run(20_000_000)
+			if err != nil {
+				t.Fatalf("seed %d config %d: run: %v\n%s", seed, ci, err, src)
+			}
+			if ci == 0 {
+				ref = rv
+			} else if rv != ref {
+				t.Fatalf("seed %d config %d (%v): result %d != O0 result %d\n%s",
+					seed, ci, opts, rv, ref, src)
+			}
+		}
+	}
+}
+
+// differentialConfigs covers O0, each flag alone, standard levels, and
+// randomized flag/heuristic mixtures.
+func differentialConfigs() []Options {
+	configs := []Options{O0(), O2(), O3()}
+	single := []func(*Options){
+		func(o *Options) { o.InlineFunctions = true },
+		func(o *Options) { o.UnrollLoops = true },
+		func(o *Options) { o.ScheduleInsns = true },
+		func(o *Options) { o.LoopOptimize = true },
+		func(o *Options) { o.GCSE = true },
+		func(o *Options) { o.StrengthReduce = true },
+		func(o *Options) { o.OmitFramePointer = true },
+		func(o *Options) { o.ReorderBlocks = true },
+		func(o *Options) { o.PrefetchLoopArray = true },
+	}
+	for _, set := range single {
+		o := O0()
+		set(&o)
+		configs = append(configs, o)
+	}
+	mixRng := rand.New(rand.NewSource(12345))
+	for i := 0; i < 5; i++ {
+		o := Options{
+			InlineFunctions:    mixRng.Intn(2) == 1,
+			UnrollLoops:        mixRng.Intn(2) == 1,
+			ScheduleInsns:      mixRng.Intn(2) == 1,
+			LoopOptimize:       mixRng.Intn(2) == 1,
+			GCSE:               mixRng.Intn(2) == 1,
+			StrengthReduce:     mixRng.Intn(2) == 1,
+			OmitFramePointer:   mixRng.Intn(2) == 1,
+			ReorderBlocks:      mixRng.Intn(2) == 1,
+			PrefetchLoopArray:  mixRng.Intn(2) == 1,
+			MaxInlineInsnsAuto: 50 + mixRng.Intn(101),
+			InlineUnitGrowth:   25 + mixRng.Intn(51),
+			InlineCallCost:     12 + mixRng.Intn(9),
+			MaxUnrollTimes:     4 + mixRng.Intn(9),
+			MaxUnrolledInsns:   100 + mixRng.Intn(201),
+			TargetIssueWidth:   2 + 2*mixRng.Intn(2),
+		}
+		configs = append(configs, o)
+	}
+	return configs
+}

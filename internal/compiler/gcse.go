@@ -1,0 +1,144 @@
+package compiler
+
+import (
+	"repro/internal/ir"
+	"sort"
+)
+
+// exprKey identifies a pure computation for value numbering.
+type exprKey struct {
+	op   ir.Op
+	x, y ir.Value
+	imm  int64
+	sym  string
+}
+
+func keyOf(in *ir.Instr) (exprKey, bool) {
+	switch in.Op {
+	case ir.OpConst:
+		return exprKey{op: in.Op, imm: in.Imm}, true
+	case ir.OpAddr:
+		return exprKey{op: in.Op, sym: in.Sym}, true
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd,
+		ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpLt, ir.OpLe,
+		ir.OpEq, ir.OpNe:
+		x, y := in.X, in.Y
+		if in.Op.IsCommutative() && y < x {
+			x, y = y, x
+		}
+		return exprKey{op: in.Op, x: x, y: y}, true
+	}
+	return exprKey{}, false
+}
+
+// GCSE performs global common-subexpression elimination (the -fgcse pass):
+// dominator-scoped value numbering over pure computations whose operands and
+// destinations are single-definition registers, plus redundant-load
+// elimination within basic blocks (killed by stores and calls). Constant and
+// copy propagation run as part of the shared Cleanup pass, as in gcc's gcse
+// which also performs them.
+func GCSE(f *ir.Func) {
+	// CSE of an inner expression exposes its consumers on the next round
+	// (after copy propagation canonicalizes operands), so iterate to a
+	// fixpoint; expression chains are shallow, so few rounds suffice.
+	for round := 0; round < 4; round++ {
+		before := f.InstrCount()
+		gcseOnce(f)
+		if f.InstrCount() == before {
+			return
+		}
+	}
+}
+
+func gcseOnce(f *ir.Func) {
+	f.RemoveUnreachable()
+	dom := ir.ComputeDominators(f)
+	defCounts := f.DefCounts()
+	single := func(v ir.Value) bool { return v == ir.NoValue || defCounts[v] == 1 }
+
+	// Build dominator-tree children lists, deterministic by block ID.
+	children := map[*ir.Block][]*ir.Block{}
+	for _, b := range f.Blocks {
+		if p := dom.IDom(b); p != nil {
+			children[p] = append(children[p], b)
+		}
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+	}
+
+	// Scoped hash table via path copying: each recursion level sees its
+	// dominators' entries.
+	type scope map[exprKey]ir.Value
+	var walk func(b *ir.Block, avail scope)
+	walk = func(b *ir.Block, avail scope) {
+		local := scope{}
+		lookup := func(k exprKey) (ir.Value, bool) {
+			if v, ok := local[k]; ok {
+				return v, true
+			}
+			v, ok := avail[k]
+			return v, ok
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			k, ok := keyOf(in)
+			if !ok || !single(in.Dst) {
+				continue
+			}
+			if k.op != ir.OpConst && k.op != ir.OpAddr && (!single(in.X) || !single(in.Y)) {
+				continue
+			}
+			if w, ok := lookup(k); ok && w != in.Dst && single(w) {
+				*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, X: w}
+				continue
+			}
+			local[k] = in.Dst
+		}
+		if len(children[b]) > 0 {
+			merged := avail
+			if len(local) > 0 {
+				merged = make(scope, len(avail)+len(local))
+				for k, v := range avail {
+					merged[k] = v
+				}
+				for k, v := range local {
+					merged[k] = v
+				}
+			}
+			for _, c := range children[b] {
+				walk(c, merged)
+			}
+		}
+	}
+	walk(f.Entry, scope{})
+
+	eliminateRedundantLoads(f, defCounts)
+	Cleanup(f)
+}
+
+// eliminateRedundantLoads replaces a load whose address register was loaded
+// earlier in the same block, with no intervening store or call, by a copy of
+// the earlier result.
+func eliminateRedundantLoads(f *ir.Func, defCounts []int) {
+	single := func(v ir.Value) bool { return defCounts[v] == 1 }
+	for _, b := range f.Blocks {
+		lastLoad := map[ir.Value]ir.Value{} // addr -> dst
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpLoad:
+				if !single(in.X) || !single(in.Dst) {
+					continue
+				}
+				if w, ok := lastLoad[in.X]; ok && single(w) {
+					*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, X: w}
+					continue
+				}
+				lastLoad[in.X] = in.Dst
+			case ir.OpStore, ir.OpCall:
+				lastLoad = map[ir.Value]ir.Value{}
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package compiler
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Inline performs bottom-up function inlining driven by the paper's three
+// heuristics:
+//
+//   - max-inline-insns-auto: a callee larger than this is never auto-inlined.
+//   - inline-call-cost: the estimated instruction cost of performing a call;
+//     callees no larger than this always shrink code and are inlined first.
+//   - inline-unit-growth: the maximum percentage by which inlining may grow
+//     the whole compilation unit.
+//
+// Call sites are ranked by (calleeSize − callCost) / blockFrequency, so small
+// hot callees inline first, and inlining stops when the growth budget is
+// exhausted — mirroring gcc's greedy inliner.
+func Inline(p *ir.Program, opts Options) {
+	baseline := p.InstrCount()
+	budget := baseline * opts.InlineUnitGrowth / 100
+
+	type site struct {
+		caller *ir.Func
+		block  *ir.Block
+		idx    int
+		callee *ir.Func
+		score  float64
+	}
+
+	collect := func() []site {
+		sizes := map[string]int{}
+		for _, f := range p.Funcs {
+			sizes[f.Name] = f.InstrCount()
+		}
+		var sites []site
+		for _, f := range p.Funcs {
+			dom := ir.ComputeDominators(f)
+			loops := ir.FindLoops(f, dom)
+			ir.EstimateFrequencies(f, loops)
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					if in.Op != ir.OpCall {
+						continue
+					}
+					callee := p.Func(in.Sym)
+					if callee == nil || callee == f { // no self-inlining
+						continue
+					}
+					sz := sizes[callee.Name]
+					if sz > opts.MaxInlineInsnsAuto {
+						continue
+					}
+					score := (float64(sz) - float64(opts.InlineCallCost)) / (b.Freq + 1)
+					sites = append(sites, site{f, b, i, callee, score})
+				}
+			}
+		}
+		sort.SliceStable(sites, func(i, j int) bool { return sites[i].score < sites[j].score })
+		return sites
+	}
+
+	grown := 0
+	// Greedy: take the best affordable site, splice, recollect. The splice
+	// bound keeps pathological mutual recursion from ping-ponging forever.
+	maxSplices := 64 + baseline/4
+	for splice := 0; splice < maxSplices; splice++ {
+		progressed := false
+		for _, s := range collect() {
+			growth := s.callee.InstrCount() - opts.InlineCallCost
+			if growth > 0 && grown+growth > budget {
+				continue
+			}
+			if !stillValid(s.caller, s.block, s.idx, s.callee.Name) {
+				continue
+			}
+			spliceCall(s.caller, s.block, s.idx, s.callee)
+			Cleanup(s.caller)
+			if growth > 0 {
+				grown += growth
+			}
+			progressed = true
+			break
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func stillValid(f *ir.Func, b *ir.Block, idx int, sym string) bool {
+	for _, fb := range f.Blocks {
+		if fb == b {
+			return idx < len(b.Instrs) && b.Instrs[idx].Op == ir.OpCall && b.Instrs[idx].Sym == sym
+		}
+	}
+	return false
+}
+
+// spliceCall replaces the call instruction at block[idx] with a copy of the
+// callee's body. The caller block is split at the call; cloned callee blocks
+// are rewired between the halves; returns become jumps to the continuation
+// with a copy into the call's destination register.
+func spliceCall(caller *ir.Func, b *ir.Block, idx int, callee *ir.Func) {
+	call := b.Instrs[idx] // copy before we mutate
+
+	// Map callee values to fresh caller values.
+	vmap := make([]ir.Value, callee.NumValues())
+	for i := range vmap {
+		vmap[i] = caller.NewValue()
+	}
+	mv := func(v ir.Value) ir.Value {
+		if v == ir.NoValue {
+			return ir.NoValue
+		}
+		return vmap[v]
+	}
+
+	// Split b: cont gets the instructions after the call and b's successors.
+	cont := caller.NewBlock()
+	cont.Instrs = append(cont.Instrs, b.Instrs[idx+1:]...)
+	cont.Succs = b.Succs
+	for _, s := range cont.Succs {
+		for pi, p := range s.Preds {
+			if p == b {
+				s.Preds[pi] = cont
+			}
+		}
+	}
+	b.Instrs = b.Instrs[:idx]
+	b.Succs = nil
+
+	// Argument copies: vmap[param] = arg.
+	for i, param := range callee.Params {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpCopy, Dst: mv(param), X: call.Args[i]})
+	}
+
+	// Clone callee blocks.
+	bmap := map[*ir.Block]*ir.Block{}
+	for _, cb := range callee.Blocks {
+		bmap[cb] = caller.NewBlock()
+	}
+	for _, cb := range callee.Blocks {
+		nb := bmap[cb]
+		for i := range cb.Instrs {
+			in := cb.Instrs[i]
+			switch in.Op {
+			case ir.OpRet:
+				// dst = retval; jmp cont
+				if in.X != ir.NoValue {
+					nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpCopy, Dst: call.Dst, X: mv(in.X)})
+				} else {
+					nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpConst, Dst: call.Dst, Imm: 0})
+				}
+				nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpJmp})
+				ir.Connect(nb, cont)
+			default:
+				ni := in
+				ni.Dst = mv(in.Dst)
+				ni.X = mv(in.X)
+				ni.Y = mv(in.Y)
+				if len(in.Args) > 0 {
+					ni.Args = make([]ir.Value, len(in.Args))
+					for j, a := range in.Args {
+						ni.Args[j] = mv(a)
+					}
+				}
+				nb.Instrs = append(nb.Instrs, ni)
+			}
+		}
+		for _, s := range cb.Succs {
+			ir.Connect(nb, bmap[s])
+		}
+	}
+
+	// Jump from b into the cloned entry.
+	b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpJmp})
+	ir.Connect(b, bmap[callee.Entry])
+	caller.RecomputePreds()
+	caller.RemoveUnreachable()
+}

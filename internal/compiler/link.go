@@ -1,0 +1,198 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// LayoutBlocks orders a machine function's blocks for emission. With
+// reorder=false the original (source) order is kept, entry first. With
+// reorder=true (-freorder-blocks), blocks are placed in greedy hot-path
+// chains: from each chain head, the highest-frequency unplaced successor
+// becomes the fall-through, minimizing taken branches on hot paths and
+// packing hot code together for the instruction cache.
+func LayoutBlocks(mf *MachineFunc, reorder bool) []*MachineBlock {
+	if !reorder {
+		out := []*MachineBlock{mf.Entry}
+		for _, b := range mf.Blocks {
+			if b != mf.Entry {
+				out = append(out, b)
+			}
+		}
+		return out
+	}
+	placed := map[*MachineBlock]bool{}
+	var order []*MachineBlock
+	succsOf := func(b *MachineBlock) []*MachineBlock {
+		switch b.Term.Kind {
+		case TermBr:
+			// Prefer the likelier side as fall-through; False is the
+			// natural fall-through so list it first on ties.
+			if b.Term.True.Freq > b.Term.False.Freq {
+				return []*MachineBlock{b.Term.True, b.Term.False}
+			}
+			return []*MachineBlock{b.Term.False, b.Term.True}
+		case TermJmp:
+			return []*MachineBlock{b.Term.True}
+		}
+		return nil
+	}
+	place := func(b *MachineBlock) {
+		for b != nil && !placed[b] {
+			placed[b] = true
+			order = append(order, b)
+			var next *MachineBlock
+			for _, s := range succsOf(b) {
+				if !placed[s] {
+					next = s
+					break
+				}
+			}
+			b = next
+		}
+	}
+	place(mf.Entry)
+	// Seed remaining chains hottest-first (stable by ID).
+	rest := append([]*MachineBlock{}, mf.Blocks...)
+	sort.SliceStable(rest, func(i, j int) bool {
+		if rest[i].Freq != rest[j].Freq {
+			return rest[i].Freq > rest[j].Freq
+		}
+		return rest[i].ID < rest[j].ID
+	})
+	for _, b := range rest {
+		place(b)
+	}
+	return order
+}
+
+// scheduleBlockCode post-RA-schedules the instruction runs between calls
+// inside one machine block's code.
+func scheduleBlockCode(code []MInstr, width int) {
+	run := make([]isa.Instr, 0, len(code))
+	flush := func(start, end int) {
+		if end-start < 2 {
+			return
+		}
+		run = run[:0]
+		for i := start; i < end; i++ {
+			run = append(run, code[i].In)
+		}
+		ScheduleMachine(run, width)
+		for i := start; i < end; i++ {
+			code[i].In = run[i-start]
+		}
+	}
+	runStart := 0
+	for i := 0; i <= len(code); i++ {
+		if i == len(code) || code[i].Callee != "" {
+			flush(runStart, i)
+			runStart = i + 1
+		}
+	}
+}
+
+// Link lays out all functions, resolves branch and call targets, prepends
+// the startup stub (call main; halt) and produces the final executable
+// program. When sched is true, post-register-allocation scheduling runs on
+// each block before emission.
+func Link(p *ir.Program, mfs []*MachineFunc, opts Options) (*isa.Program, error) {
+	prog := &isa.Program{Symbols: map[string]int32{}}
+
+	offsets, dataSize := p.GlobalOffsets()
+	prog.DataSize = dataSize
+	for _, g := range p.Globals {
+		if g.Words == 1 && g.Init != 0 {
+			prog.Init = append(prog.Init, isa.DataInit{
+				Addr: uint64(isa.GlobalBase + offsets[g.Name]),
+				Val:  g.Init,
+			})
+		}
+	}
+
+	// Startup stub.
+	prog.Instrs = append(prog.Instrs,
+		isa.Instr{Op: isa.OpCall}, // target patched to main
+		isa.Instr{Op: isa.OpHalt},
+	)
+	prog.Entry = 0
+
+	type callFixup struct {
+		at   int
+		name string
+	}
+	var callFixups []callFixup
+	callFixups = append(callFixups, callFixup{0, "main"})
+
+	for _, mf := range mfs {
+		layout := LayoutBlocks(mf, opts.ReorderBlocks)
+		prog.Symbols[mf.Name] = int32(len(prog.Instrs))
+
+		blockStart := map[*MachineBlock]int32{}
+		type branchFixup struct {
+			at     int
+			target *MachineBlock
+		}
+		var branchFixups []branchFixup
+
+		for li, b := range layout {
+			if opts.ScheduleInsns {
+				scheduleBlockCode(b.Code, opts.TargetIssueWidth)
+			}
+			blockStart[b] = int32(len(prog.Instrs))
+			for _, mi := range b.Code {
+				if mi.Callee != "" {
+					callFixups = append(callFixups, callFixup{len(prog.Instrs), mi.Callee})
+				}
+				prog.Instrs = append(prog.Instrs, mi.In)
+			}
+			var next *MachineBlock
+			if li+1 < len(layout) {
+				next = layout[li+1]
+			}
+			switch b.Term.Kind {
+			case TermRet:
+				prog.Instrs = append(prog.Instrs, mf.Epilog...)
+			case TermJmp:
+				if b.Term.True != next {
+					branchFixups = append(branchFixups, branchFixup{len(prog.Instrs), b.Term.True})
+					prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpJump})
+				}
+			case TermBr:
+				t, f := b.Term.True, b.Term.False
+				switch {
+				case f == next:
+					branchFixups = append(branchFixups, branchFixup{len(prog.Instrs), t})
+					prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpBne, Rs1: b.Term.Cond, Rs2: isa.RegZero})
+				case t == next:
+					branchFixups = append(branchFixups, branchFixup{len(prog.Instrs), f})
+					prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpBeq, Rs1: b.Term.Cond, Rs2: isa.RegZero})
+				default:
+					branchFixups = append(branchFixups, branchFixup{len(prog.Instrs), t})
+					prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpBne, Rs1: b.Term.Cond, Rs2: isa.RegZero})
+					branchFixups = append(branchFixups, branchFixup{len(prog.Instrs), f})
+					prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpJump})
+				}
+			}
+		}
+		for _, fx := range branchFixups {
+			tgt, ok := blockStart[fx.target]
+			if !ok {
+				return nil, fmt.Errorf("compiler: %s: branch to unplaced block %d", mf.Name, fx.target.ID)
+			}
+			prog.Instrs[fx.at].Target = tgt
+		}
+	}
+
+	for _, fx := range callFixups {
+		tgt, ok := prog.Symbols[fx.name]
+		if !ok {
+			return nil, fmt.Errorf("compiler: call to unknown function %q", fx.name)
+		}
+		prog.Instrs[fx.at].Target = tgt
+	}
+	return prog, nil
+}

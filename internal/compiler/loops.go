@@ -1,0 +1,138 @@
+package compiler
+
+import "repro/internal/ir"
+
+// ensurePreheader guarantees the loop header has exactly one predecessor
+// outside the loop, and that predecessor ends in an unconditional jump to
+// the header. Returns the preheader block.
+func ensurePreheader(f *ir.Func, l *ir.Loop) *ir.Block {
+	var outside []*ir.Block
+	for _, p := range l.Header.Preds {
+		if !l.Contains(p) {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 1 {
+		p := outside[0]
+		if t := p.Term(); t != nil && t.Op == ir.OpJmp && len(p.Succs) == 1 {
+			return p
+		}
+	}
+	ph := f.NewBlock()
+	ph.Instrs = []ir.Instr{{Op: ir.OpJmp}}
+	ph.Freq = l.Header.Freq / 10
+	for _, p := range outside {
+		for si, s := range p.Succs {
+			if s == l.Header {
+				p.Succs[si] = ph
+			}
+		}
+	}
+	ph.Succs = []*ir.Block{l.Header}
+	f.RecomputePreds()
+	return ph
+}
+
+// loopDefs returns the set of values defined inside the loop.
+func loopDefs(l *ir.Loop) map[ir.Value]bool {
+	defs := map[ir.Value]bool{}
+	for b := range l.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.NoValue {
+				defs[d] = true
+			}
+		}
+	}
+	return defs
+}
+
+// loopBlocksOrdered returns the loop's blocks sorted by ID for deterministic
+// iteration.
+func loopBlocksOrdered(l *ir.Loop) []*ir.Block {
+	var bs []*ir.Block
+	for b := range l.Blocks {
+		bs = append(bs, b)
+	}
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j-1].ID > bs[j].ID; j-- {
+			bs[j-1], bs[j] = bs[j], bs[j-1]
+		}
+	}
+	return bs
+}
+
+// LICM hoists loop-invariant pure computations into the loop preheader
+// (the -floop-optimize pass). A candidate must be pure, its operands must be
+// defined outside the loop (or already hoisted), and its destination must
+// have exactly one definition in the whole function, which makes speculative
+// hoisting safe (our pure ops cannot fault: division by zero yields 0).
+func LICM(f *ir.Func) {
+	for iter := 0; iter < 4; iter++ {
+		f.RemoveUnreachable()
+		dom := ir.ComputeDominators(f)
+		loops := ir.FindLoops(f, dom)
+		if len(loops) == 0 {
+			return
+		}
+		changed := false
+		for _, l := range loops { // innermost first
+			if hoistLoop(f, l) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+		Cleanup(f)
+	}
+}
+
+func hoistLoop(f *ir.Func, l *ir.Loop) bool {
+	defCounts := f.DefCounts()
+	inLoop := loopDefs(l)
+	// invariant[v] = true if v's value is the same on every loop iteration.
+	invariant := func(v ir.Value) bool { return !inLoop[v] }
+
+	var hoisted []ir.Instr
+	changedAny := false
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		for _, b := range loopBlocksOrdered(l) {
+			kept := b.Instrs[:0]
+			for i := range b.Instrs {
+				in := b.Instrs[i]
+				ok := false
+				switch in.Op {
+				case ir.OpConst, ir.OpAddr:
+					ok = defCounts[in.Dst] == 1
+				case ir.OpCopy:
+					ok = defCounts[in.Dst] == 1 && invariant(in.X)
+				default:
+					ok = in.Op.IsPure() && defCounts[in.Dst] == 1 &&
+						invariant(in.X) && invariant(in.Y)
+				}
+				if ok {
+					hoisted = append(hoisted, in)
+					delete(inLoop, in.Dst)
+					changed = true
+					changedAny = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if !changed {
+			break
+		}
+	}
+	if len(hoisted) == 0 {
+		return false
+	}
+	ph := ensurePreheader(f, l)
+	// Insert before the preheader's terminator.
+	term := ph.Instrs[len(ph.Instrs)-1]
+	ph.Instrs = append(ph.Instrs[:len(ph.Instrs)-1], hoisted...)
+	ph.Instrs = append(ph.Instrs, term)
+	return changedAny
+}

@@ -1,0 +1,370 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+// Lower translates a checked MiniC program into IR. Logical && and || become
+// short-circuit control flow; every MiniC local maps to one virtual register.
+func Lower(prog *lang.Program) (*ir.Program, error) {
+	out := &ir.Program{}
+	for _, g := range prog.Globals {
+		words := g.Size
+		if words == 0 {
+			words = 1
+		}
+		out.Globals = append(out.Globals, ir.Global{Name: g.Name, Words: words, Init: g.Init})
+	}
+	for _, f := range prog.Funcs {
+		fn, err := lowerFunc(f)
+		if err != nil {
+			return nil, err
+		}
+		out.Funcs = append(out.Funcs, fn)
+	}
+	if err := ir.VerifyProgram(out); err != nil {
+		return nil, fmt.Errorf("compiler: lowering produced invalid IR: %w", err)
+	}
+	return out, nil
+}
+
+type lowerer struct {
+	f      *ir.Func
+	cur    *ir.Block
+	scopes []map[string]ir.Value
+
+	// loop stack for break/continue targets
+	breakTo    []*ir.Block
+	continueTo []*ir.Block
+}
+
+func lowerFunc(fd *lang.FuncDecl) (*ir.Func, error) {
+	l := &lowerer{f: ir.NewFunc(fd.Name, len(fd.Params))}
+	l.cur = l.f.Entry
+	l.pushScope()
+	for i, p := range fd.Params {
+		l.scopes[0][p] = l.f.Params[i]
+	}
+	l.block(fd.Body)
+	// A function that falls off the end returns 0.
+	if l.cur != nil {
+		zero := l.emitConst(0)
+		l.emit(ir.Instr{Op: ir.OpRet, X: zero})
+		l.cur = nil
+	}
+	l.f.RemoveUnreachable()
+	return l.f, nil
+}
+
+func (l *lowerer) pushScope() { l.scopes = append(l.scopes, map[string]ir.Value{}) }
+func (l *lowerer) popScope()  { l.scopes = l.scopes[:len(l.scopes)-1] }
+
+func (l *lowerer) lookup(name string) (ir.Value, bool) {
+	for i := len(l.scopes) - 1; i >= 0; i-- {
+		if v, ok := l.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return ir.NoValue, false
+}
+
+// emit appends an instruction to the current block. Emitting into a dead
+// context (after a terminator) is a no-op.
+func (l *lowerer) emit(in ir.Instr) {
+	if l.cur == nil {
+		return
+	}
+	l.cur.Instrs = append(l.cur.Instrs, in)
+}
+
+func (l *lowerer) emitConst(v int64) ir.Value {
+	dst := l.f.NewValue()
+	l.emit(ir.Instr{Op: ir.OpConst, Dst: dst, Imm: v})
+	return dst
+}
+
+// terminate ends the current block with the given terminator and successors.
+func (l *lowerer) terminate(in ir.Instr, succs ...*ir.Block) {
+	if l.cur == nil {
+		return
+	}
+	l.cur.Instrs = append(l.cur.Instrs, in)
+	for _, s := range succs {
+		ir.Connect(l.cur, s)
+	}
+	l.cur = nil
+}
+
+func (l *lowerer) startBlock(b *ir.Block) { l.cur = b }
+
+func (l *lowerer) block(b *lang.BlockStmt) {
+	l.pushScope()
+	for _, s := range b.Stmts {
+		l.stmt(s)
+		if l.cur == nil {
+			break // unreachable code after return/break/continue
+		}
+	}
+	l.popScope()
+}
+
+func (l *lowerer) stmt(s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		l.block(s)
+	case *lang.VarDeclStmt:
+		v := l.f.NewValue()
+		if s.Init != nil {
+			init := l.expr(s.Init)
+			l.emit(ir.Instr{Op: ir.OpCopy, Dst: v, X: init})
+		} else {
+			l.emit(ir.Instr{Op: ir.OpConst, Dst: v, Imm: 0})
+		}
+		l.scopes[len(l.scopes)-1][s.Name] = v
+	case *lang.AssignStmt:
+		l.assign(s)
+	case *lang.IfStmt:
+		l.ifStmt(s)
+	case *lang.WhileStmt:
+		l.whileStmt(s)
+	case *lang.ForStmt:
+		l.forStmt(s)
+	case *lang.ReturnStmt:
+		var v ir.Value = ir.NoValue
+		if s.Value != nil {
+			v = l.expr(s.Value)
+		}
+		l.terminate(ir.Instr{Op: ir.OpRet, X: v})
+	case *lang.BreakStmt:
+		l.terminate(ir.Instr{Op: ir.OpJmp}, l.breakTo[len(l.breakTo)-1])
+	case *lang.ContinueStmt:
+		l.terminate(ir.Instr{Op: ir.OpJmp}, l.continueTo[len(l.continueTo)-1])
+	case *lang.ExprStmt:
+		l.expr(s.X)
+	default:
+		panic(fmt.Sprintf("compiler: unknown statement %T", s))
+	}
+}
+
+func (l *lowerer) assign(s *lang.AssignStmt) {
+	if s.Index == nil {
+		if v, ok := l.lookup(s.Name); ok {
+			val := l.expr(s.Value)
+			l.emit(ir.Instr{Op: ir.OpCopy, Dst: v, X: val})
+			return
+		}
+		// Global scalar: store to its address.
+		val := l.expr(s.Value)
+		addr := l.f.NewValue()
+		l.emit(ir.Instr{Op: ir.OpAddr, Dst: addr, Sym: s.Name})
+		l.emit(ir.Instr{Op: ir.OpStore, X: addr, Y: val})
+		return
+	}
+	addr := l.arrayAddr(s.Name, s.Index)
+	val := l.expr(s.Value)
+	l.emit(ir.Instr{Op: ir.OpStore, X: addr, Y: val})
+}
+
+// arrayAddr computes &name[index] as base + index*8.
+func (l *lowerer) arrayAddr(name string, index lang.Expr) ir.Value {
+	idx := l.expr(index)
+	base := l.f.NewValue()
+	l.emit(ir.Instr{Op: ir.OpAddr, Dst: base, Sym: name})
+	eight := l.emitConst(8)
+	off := l.f.NewValue()
+	l.emit(ir.Instr{Op: ir.OpMul, Dst: off, X: idx, Y: eight})
+	addr := l.f.NewValue()
+	l.emit(ir.Instr{Op: ir.OpAdd, Dst: addr, X: base, Y: off})
+	return addr
+}
+
+func (l *lowerer) ifStmt(s *lang.IfStmt) {
+	thenB := l.f.NewBlock()
+	var elseB *ir.Block
+	join := l.f.NewBlock()
+	if s.Else != nil {
+		elseB = l.f.NewBlock()
+	} else {
+		elseB = join
+	}
+	cond := l.expr(s.Cond)
+	l.terminate(ir.Instr{Op: ir.OpBr, X: cond}, thenB, elseB)
+
+	l.startBlock(thenB)
+	l.block(s.Then)
+	l.terminate(ir.Instr{Op: ir.OpJmp}, join)
+
+	if s.Else != nil {
+		l.startBlock(elseB)
+		l.block(s.Else)
+		l.terminate(ir.Instr{Op: ir.OpJmp}, join)
+	}
+	l.startBlock(join)
+}
+
+func (l *lowerer) whileStmt(s *lang.WhileStmt) {
+	header := l.f.NewBlock()
+	body := l.f.NewBlock()
+	exit := l.f.NewBlock()
+
+	l.terminate(ir.Instr{Op: ir.OpJmp}, header)
+
+	l.startBlock(header)
+	cond := l.expr(s.Cond)
+	l.terminate(ir.Instr{Op: ir.OpBr, X: cond}, body, exit)
+
+	l.breakTo = append(l.breakTo, exit)
+	l.continueTo = append(l.continueTo, header)
+	l.startBlock(body)
+	l.block(s.Body)
+	l.terminate(ir.Instr{Op: ir.OpJmp}, header)
+	l.breakTo = l.breakTo[:len(l.breakTo)-1]
+	l.continueTo = l.continueTo[:len(l.continueTo)-1]
+
+	l.startBlock(exit)
+}
+
+func (l *lowerer) forStmt(s *lang.ForStmt) {
+	l.pushScope() // scope for the init declaration
+	if s.Init != nil {
+		l.stmt(s.Init)
+	}
+	header := l.f.NewBlock()
+	body := l.f.NewBlock()
+	post := l.f.NewBlock()
+	exit := l.f.NewBlock()
+
+	l.terminate(ir.Instr{Op: ir.OpJmp}, header)
+
+	l.startBlock(header)
+	if s.Cond != nil {
+		cond := l.expr(s.Cond)
+		l.terminate(ir.Instr{Op: ir.OpBr, X: cond}, body, exit)
+	} else {
+		l.terminate(ir.Instr{Op: ir.OpJmp}, body)
+	}
+
+	l.breakTo = append(l.breakTo, exit)
+	l.continueTo = append(l.continueTo, post)
+	l.startBlock(body)
+	l.block(s.Body)
+	l.terminate(ir.Instr{Op: ir.OpJmp}, post)
+	l.breakTo = l.breakTo[:len(l.breakTo)-1]
+	l.continueTo = l.continueTo[:len(l.continueTo)-1]
+
+	l.startBlock(post)
+	if s.Post != nil {
+		l.stmt(s.Post)
+	}
+	l.terminate(ir.Instr{Op: ir.OpJmp}, header)
+
+	l.startBlock(exit)
+	l.popScope()
+}
+
+var binOpMap = map[lang.BinOp]ir.Op{
+	lang.OpAdd: ir.OpAdd, lang.OpSub: ir.OpSub, lang.OpMul: ir.OpMul,
+	lang.OpDiv: ir.OpDiv, lang.OpRem: ir.OpRem, lang.OpAnd: ir.OpAnd,
+	lang.OpOr: ir.OpOr, lang.OpXor: ir.OpXor, lang.OpShl: ir.OpShl,
+	lang.OpShr: ir.OpShr, lang.OpLt: ir.OpLt, lang.OpLe: ir.OpLe,
+	lang.OpEq: ir.OpEq, lang.OpNe: ir.OpNe,
+}
+
+func (l *lowerer) expr(e lang.Expr) ir.Value {
+	if l.cur == nil {
+		return ir.NoValue
+	}
+	switch e := e.(type) {
+	case *lang.NumExpr:
+		return l.emitConst(e.Val)
+	case *lang.VarExpr:
+		if v, ok := l.lookup(e.Name); ok {
+			return v
+		}
+		addr := l.f.NewValue()
+		l.emit(ir.Instr{Op: ir.OpAddr, Dst: addr, Sym: e.Name})
+		dst := l.f.NewValue()
+		l.emit(ir.Instr{Op: ir.OpLoad, Dst: dst, X: addr})
+		return dst
+	case *lang.IndexExpr:
+		addr := l.arrayAddr(e.Name, e.Index)
+		dst := l.f.NewValue()
+		l.emit(ir.Instr{Op: ir.OpLoad, Dst: dst, X: addr})
+		return dst
+	case *lang.UnaryExpr:
+		x := l.expr(e.X)
+		dst := l.f.NewValue()
+		if e.Neg {
+			zero := l.emitConst(0)
+			l.emit(ir.Instr{Op: ir.OpSub, Dst: dst, X: zero, Y: x})
+		} else {
+			zero := l.emitConst(0)
+			l.emit(ir.Instr{Op: ir.OpEq, Dst: dst, X: x, Y: zero})
+		}
+		return dst
+	case *lang.CallExpr:
+		args := make([]ir.Value, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = l.expr(a)
+		}
+		dst := l.f.NewValue()
+		l.emit(ir.Instr{Op: ir.OpCall, Dst: dst, Sym: e.Name, Args: args})
+		return dst
+	case *lang.BinExpr:
+		switch e.Op {
+		case lang.OpLAnd, lang.OpLOr:
+			return l.shortCircuit(e)
+		case lang.OpGt: // a > b  ==>  b < a
+			x, y := l.expr(e.X), l.expr(e.Y)
+			dst := l.f.NewValue()
+			l.emit(ir.Instr{Op: ir.OpLt, Dst: dst, X: y, Y: x})
+			return dst
+		case lang.OpGe: // a >= b  ==>  b <= a
+			x, y := l.expr(e.X), l.expr(e.Y)
+			dst := l.f.NewValue()
+			l.emit(ir.Instr{Op: ir.OpLe, Dst: dst, X: y, Y: x})
+			return dst
+		default:
+			x, y := l.expr(e.X), l.expr(e.Y)
+			dst := l.f.NewValue()
+			l.emit(ir.Instr{Op: binOpMap[e.Op], Dst: dst, X: x, Y: y})
+			return dst
+		}
+	}
+	panic(fmt.Sprintf("compiler: unknown expression %T", e))
+}
+
+// shortCircuit lowers && and || with control flow. The result register is
+// multi-def (assigned on both paths).
+func (l *lowerer) shortCircuit(e *lang.BinExpr) ir.Value {
+	dst := l.f.NewValue()
+	rhs := l.f.NewBlock()
+	join := l.f.NewBlock()
+
+	x := l.expr(e.X)
+	zero := l.emitConst(0)
+	xb := l.f.NewValue()
+	l.emit(ir.Instr{Op: ir.OpNe, Dst: xb, X: x, Y: zero})
+	l.emit(ir.Instr{Op: ir.OpCopy, Dst: dst, X: xb})
+	if e.Op == lang.OpLAnd {
+		// if x is true, evaluate rhs; else dst = 0 already.
+		l.terminate(ir.Instr{Op: ir.OpBr, X: xb}, rhs, join)
+	} else {
+		// if x is true, dst = 1 already; else evaluate rhs.
+		l.terminate(ir.Instr{Op: ir.OpBr, X: xb}, join, rhs)
+	}
+
+	l.startBlock(rhs)
+	y := l.expr(e.Y)
+	zero2 := l.emitConst(0)
+	yb := l.f.NewValue()
+	l.emit(ir.Instr{Op: ir.OpNe, Dst: yb, X: y, Y: zero2})
+	l.emit(ir.Instr{Op: ir.OpCopy, Dst: dst, X: yb})
+	l.terminate(ir.Instr{Op: ir.OpJmp}, join)
+
+	l.startBlock(join)
+	return dst
+}

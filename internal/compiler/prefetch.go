@@ -1,0 +1,116 @@
+package compiler
+
+import "repro/internal/ir"
+
+// prefetchDistanceBytes is how far ahead of a loop load the inserted
+// prefetch targets. 256 bytes = 32 words, a handful of iterations for
+// unit-stride streams, mirroring gcc's ahead-distance heuristics.
+const prefetchDistanceBytes = 256
+
+// maxPrefetchesPerLoop bounds insertion so pathological loops don't drown in
+// prefetch traffic.
+const maxPrefetchesPerLoop = 8
+
+// variantValues returns the values whose contents actually change across
+// loop iterations: multi-defined values (induction variables and
+// accumulators), loads and calls, and anything computed from those. A value
+// merely *recomputed* inside the loop from invariant inputs (an address
+// materialization, say) is not variant.
+func variantValues(f *ir.Func, l *ir.Loop) map[ir.Value]bool {
+	defsIn := map[ir.Value]int{}
+	for b := range l.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.NoValue {
+				defsIn[d]++
+			}
+		}
+	}
+	defCounts := f.DefCounts()
+	variant := map[ir.Value]bool{}
+	for v, n := range defsIn {
+		// Defined in the loop and elsewhere (or several times in the
+		// loop): loop-carried.
+		if n > 1 || defCounts[v] > n {
+			variant[v] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range loopBlocksOrdered(l) {
+			var buf []ir.Value
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				d := in.Def()
+				if d == ir.NoValue || variant[d] {
+					continue
+				}
+				isVariant := false
+				if !in.Op.IsPure() {
+					isVariant = true // loads, calls
+				} else {
+					for _, u := range in.Uses(buf[:0]) {
+						if variant[u] {
+							isVariant = true
+							break
+						}
+					}
+				}
+				if isVariant {
+					variant[d] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return variant
+}
+
+// InsertPrefetches implements -fprefetch-loop-arrays: for every innermost
+// loop, each load whose address varies across iterations (defined inside the
+// loop — the signature of an array walk) gets a non-binding prefetch of
+// address+distance placed before it. Prefetching costs an address add, a
+// memory-unit slot and possible cache pollution; whether it pays off depends
+// on the memory latency and cache configuration — exactly the interaction
+// the paper's models capture.
+func InsertPrefetches(f *ir.Func) {
+	f.RemoveUnreachable()
+	dom := ir.ComputeDominators(f)
+	loops := ir.FindLoops(f, dom)
+	inner := map[*ir.Loop]bool{}
+	for _, l := range loops {
+		inner[l] = true
+	}
+	for _, l := range loops {
+		if l.Parent != nil {
+			inner[l.Parent] = false
+		}
+	}
+	for _, l := range loops {
+		if !inner[l] {
+			continue
+		}
+		vary := variantValues(f, l)
+		inserted := 0
+		seen := map[ir.Value]bool{}
+		for _, b := range loopBlocksOrdered(l) {
+			var out []ir.Instr
+			for i := range b.Instrs {
+				in := b.Instrs[i]
+				if in.Op == ir.OpLoad && vary[in.X] && !seen[in.X] &&
+					inserted < maxPrefetchesPerLoop {
+					seen[in.X] = true
+					inserted++
+					c := f.NewValue()
+					a2 := f.NewValue()
+					out = append(out,
+						ir.Instr{Op: ir.OpConst, Dst: c, Imm: prefetchDistanceBytes},
+						ir.Instr{Op: ir.OpAdd, Dst: a2, X: in.X, Y: c},
+						ir.Instr{Op: ir.OpPrefetch, X: a2},
+					)
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestSpillPriorityNames(t *testing.T) {
+	want := map[SpillPriority]string{
+		PriorityFrequency: "frequency",
+		PrioritySpan:      "span",
+		PriorityDensity:   "density",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if NumSpillPriorities != 3 {
+		t.Fatal("three priority functions expected")
+	}
+}
+
+// TestSpillPrioritiesPreserveSemantics runs every workload result under all
+// three priority functions — a categorical compiler variable must never
+// change results, only performance.
+func TestSpillPrioritiesPreserveSemantics(t *testing.T) {
+	w := workloads.MustGet("179.art", workloads.Train)
+	var ref int64
+	for p := SpillPriority(0); p < NumSpillPriorities; p++ {
+		opts := O2()
+		opts.UnrollLoops = true // maximize register pressure
+		opts.MaxUnrollTimes = 12
+		opts.SpillPriority = p
+		prog, _, err := Compile(w.Parse(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exe := sim.NewExecutor(prog)
+		_, rv, err := exe.Run(100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == 0 {
+			ref = rv
+		} else if rv != ref {
+			t.Fatalf("priority %v changed the result: %d != %d", p, rv, ref)
+		}
+	}
+}
+
+// TestSpillPrioritiesChangePerformance confirms the categorical variable has
+// a measurable performance effect under pressure (otherwise there is nothing
+// to model).
+func TestSpillPrioritiesChangePerformance(t *testing.T) {
+	w := workloads.MustGet("179.art", workloads.Train)
+	cfg := sim.DefaultConfig()
+	cycles := map[SpillPriority]int64{}
+	for p := SpillPriority(0); p < NumSpillPriorities; p++ {
+		opts := O2()
+		opts.UnrollLoops = true
+		opts.MaxUnrollTimes = 12
+		opts.SpillPriority = p
+		prog, _, err := Compile(w.Parse(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Simulate(prog, cfg, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[p] = st.Cycles
+		t.Logf("%-9v: %d cycles", p, st.Cycles)
+	}
+	if cycles[PriorityFrequency] == cycles[PrioritySpan] &&
+		cycles[PrioritySpan] == cycles[PriorityDensity] {
+		t.Error("all priority functions produced identical timing; the variable is inert")
+	}
+}

@@ -1,0 +1,166 @@
+package compiler
+
+import "repro/internal/ir"
+
+// StrengthReduce performs induction-variable strength reduction
+// (-fstrength-reduce): inside each loop, a multiplication `t = iv * c` of a
+// basic induction variable by a loop-invariant value is replaced by an
+// accumulator that is initialized in the preheader and advanced by `step*c`
+// alongside the induction variable, turning the per-iteration multiply into
+// an add. The array-indexing multiplies produced by lowering (`i*8`) are the
+// most common beneficiaries.
+func StrengthReduce(f *ir.Func) {
+	for iter := 0; iter < 64; iter++ {
+		f.RemoveUnreachable()
+		dom := ir.ComputeDominators(f)
+		loops := ir.FindLoops(f, dom)
+		changed := false
+		for _, l := range loops { // innermost first
+			if reduceLoop(f, l) {
+				changed = true
+				break // CFG/def structure changed; recompute analyses
+			}
+		}
+		if !changed {
+			return
+		}
+		Cleanup(f)
+	}
+}
+
+// basicIV describes `iv = iv + step` found in the loop latch.
+type basicIV struct {
+	iv       ir.Value
+	step     int64
+	incBlock *ir.Block
+	incIdx   int
+}
+
+// findBasicIVs locates induction variables: values with exactly one
+// definition inside the loop, of the form iv = add iv, c (or iv = add c, iv)
+// located in the latch block, with c a single-def constant.
+func findBasicIVs(f *ir.Func, l *ir.Loop) []basicIV {
+	consts, _ := constValues(f)
+	// Count in-loop defs per value.
+	defsIn := map[ir.Value]int{}
+	for b := range l.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.NoValue {
+				defsIn[d]++
+			}
+		}
+	}
+	latch := l.Latch
+	if latch == nil {
+		return nil
+	}
+	var ivs []basicIV
+	for i := range latch.Instrs {
+		in := &latch.Instrs[i]
+		if in.Op != ir.OpAdd || defsIn[in.Dst] != 1 {
+			continue
+		}
+		var stepVal ir.Value
+		switch {
+		case in.X == in.Dst:
+			stepVal = in.Y
+		case in.Y == in.Dst:
+			stepVal = in.X
+		default:
+			continue
+		}
+		c, ok := consts[stepVal]
+		if !ok {
+			continue
+		}
+		ivs = append(ivs, basicIV{iv: in.Dst, step: c, incBlock: latch, incIdx: i})
+	}
+	return ivs
+}
+
+// singleBackEdge reports whether the loop has exactly one back edge, from
+// its latch.
+func singleBackEdge(l *ir.Loop) bool {
+	n := 0
+	for _, p := range l.Header.Preds {
+		if l.Contains(p) {
+			n++
+			if p != l.Latch {
+				return false
+			}
+		}
+	}
+	return n == 1
+}
+
+func reduceLoop(f *ir.Func, l *ir.Loop) bool {
+	if !singleBackEdge(l) {
+		return false
+	}
+	ivs := findBasicIVs(f, l)
+	if len(ivs) == 0 {
+		return false
+	}
+	ivOf := map[ir.Value]*basicIV{}
+	for i := range ivs {
+		ivOf[ivs[i].iv] = &ivs[i]
+	}
+	defCounts := f.DefCounts()
+	consts, _ := constValues(f)
+	inLoop := loopDefs(l)
+
+	// Find a candidate multiply: t = mul iv, c with c loop-invariant
+	// constant, t single-def, located in any loop block.
+	for _, b := range loopBlocksOrdered(l) {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpMul || defCounts[in.Dst] != 1 {
+				continue
+			}
+			var iv *basicIV
+			var cval int64
+			if v, ok := ivOf[in.X]; ok {
+				c, isC := consts[in.Y]
+				if !isC || inLoop[in.Y] {
+					continue
+				}
+				iv, cval = v, c
+			} else if v, ok := ivOf[in.Y]; ok {
+				c, isC := consts[in.X]
+				if !isC || inLoop[in.X] {
+					continue
+				}
+				iv, cval = v, c
+			} else {
+				continue
+			}
+
+			// Rewrite: preheader:  acc = iv * c
+			//          loop body:  t   = copy acc      (replaces the mul)
+			//          after inc:  acc = acc + step*c
+			ph := ensurePreheader(f, l)
+			acc := f.NewValue()
+			cReg := f.NewValue()
+			phTerm := ph.Instrs[len(ph.Instrs)-1]
+			ph.Instrs = append(ph.Instrs[:len(ph.Instrs)-1],
+				ir.Instr{Op: ir.OpConst, Dst: cReg, Imm: cval},
+				ir.Instr{Op: ir.OpMul, Dst: acc, X: iv.iv, Y: cReg},
+				phTerm,
+			)
+			*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, X: acc}
+
+			latch := iv.incBlock
+			deltaReg := f.NewValue()
+			upd := []ir.Instr{
+				{Op: ir.OpConst, Dst: deltaReg, Imm: iv.step * cval},
+				{Op: ir.OpAdd, Dst: acc, X: acc, Y: deltaReg},
+			}
+			pos := iv.incIdx + 1
+			rest := append([]ir.Instr{}, latch.Instrs[pos:]...)
+			latch.Instrs = append(latch.Instrs[:pos], upd...)
+			latch.Instrs = append(latch.Instrs, rest...)
+			return true
+		}
+	}
+	return false
+}

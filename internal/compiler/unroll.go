@@ -1,0 +1,282 @@
+package compiler
+
+import "repro/internal/ir"
+
+// Unroll performs counted-loop unrolling (-funroll-loops) governed by two
+// heuristics from the paper: max-unroll-times caps the unroll factor, and
+// max-unrolled-insns caps the size of a loop considered for unrolling.
+//
+// Eligible loops have the canonical two-block shape produced by the frontend
+// after cleanup — a header testing `iv < bound` (or <=) and a straight-line
+// latch containing the single increment `iv = iv + step` — with one back
+// edge. The transformation builds an unrolled loop guarded by an adjusted
+// bound and keeps the original loop as the remainder:
+//
+//	preheader: bound' = bound - (F-1)*step
+//	uheader:   if iv < bound' goto ubody else header
+//	ubody:     F renamed copies of the latch body; copy-backs; goto uheader
+//	header:    original test (remainder loop)
+//
+// Register renaming across copies exposes independent work to the scheduler
+// and the out-of-order core, at the cost of live-range pressure — the
+// non-monotone response the paper's Figure 3 shows.
+func Unroll(f *ir.Func, opts Options) {
+	// One unrolling sweep; nested re-unrolling of the generated loops is
+	// deliberately not attempted (matching gcc's single-pass unroller).
+	f.RemoveUnreachable()
+	dom := ir.ComputeDominators(f)
+	loops := ir.FindLoops(f, dom)
+	var done []*ir.Block // headers of loops already transformed
+	for _, l := range loops {
+		skip := false
+		for _, h := range done {
+			if l.Contains(h) || l.Header == h {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		if unrollLoop(f, l, opts) {
+			done = append(done, l.Header)
+		}
+	}
+	Cleanup(f)
+}
+
+// hoistHeaderConstants moves single-def OpConst and OpAddr instructions out
+// of the loop header into the preheader. Returns whether anything moved.
+func hoistHeaderConstants(f *ir.Func, l *ir.Loop) bool {
+	defCounts := f.DefCounts()
+	var hoisted []ir.Instr
+	kept := l.Header.Instrs[:0]
+	for i := range l.Header.Instrs {
+		in := l.Header.Instrs[i]
+		if (in.Op == ir.OpConst || in.Op == ir.OpAddr) && defCounts[in.Dst] == 1 {
+			hoisted = append(hoisted, in)
+			continue
+		}
+		kept = append(kept, in)
+	}
+	if len(hoisted) == 0 {
+		return false
+	}
+	l.Header.Instrs = kept
+	ph := ensurePreheader(f, l)
+	term := ph.Instrs[len(ph.Instrs)-1]
+	ph.Instrs = append(ph.Instrs[:len(ph.Instrs)-1], hoisted...)
+	ph.Instrs = append(ph.Instrs, term)
+	return true
+}
+
+func unrollLoop(f *ir.Func, l *ir.Loop, opts Options) bool {
+	if len(l.Blocks) != 2 || !singleBackEdge(l) {
+		return false
+	}
+	header, latch := l.Header, l.Latch
+	if latch == header || !l.Contains(latch) {
+		return false
+	}
+	// Header: body of pure instrs, compare, br with succs[0]=latch (in
+	// loop) and succs[1]=exit.
+	hterm := header.Term()
+	if hterm == nil || hterm.Op != ir.OpBr {
+		return false
+	}
+	if len(header.Succs) != 2 || header.Succs[0] != latch || l.Contains(header.Succs[1]) {
+		return false
+	}
+	// Latch: straight line ending in jmp header.
+	lterm := latch.Term()
+	if lterm == nil || lterm.Op != ir.OpJmp || latch.Succs[0] != header {
+		return false
+	}
+	// Find the compare feeding the branch: `c = lt/le iv, bound`, defined
+	// in the header.
+	var cmp *ir.Instr
+	for i := range header.Instrs {
+		in := &header.Instrs[i]
+		if in.Dst == hterm.X && (in.Op == ir.OpLt || in.Op == ir.OpLe) {
+			cmp = in
+		}
+	}
+	if cmp == nil {
+		return false
+	}
+	// Canonicalize: a constant bound materialized in the header (`n =
+	// const ...`) blocks eligibility only syntactically; hoist such
+	// single-def constants to the preheader first (loop canonicalization,
+	// as gcc's unroller does via loop-invariant motion).
+	if hoistHeaderConstants(f, l) {
+		cmp = nil
+		for i := range header.Instrs {
+			in := &header.Instrs[i]
+			if in.Dst == hterm.X && (in.Op == ir.OpLt || in.Op == ir.OpLe) {
+				cmp = in
+			}
+		}
+		if cmp == nil {
+			return false
+		}
+	}
+	iv, bound := cmp.X, cmp.Y
+	inLoop := loopDefs(l)
+	if inLoop[bound] {
+		return false
+	}
+	// The IV must have exactly one in-loop definition: `iv = add iv, step`
+	// in the latch, step a positive constant.
+	ivDefs := 0
+	for b := range l.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Def() == iv {
+				ivDefs++
+			}
+		}
+	}
+	if ivDefs != 1 {
+		return false
+	}
+	consts, _ := constValues(f)
+	var step int64
+	found := false
+	for i := range latch.Instrs {
+		in := &latch.Instrs[i]
+		if in.Def() != iv {
+			continue
+		}
+		if in.Op != ir.OpAdd {
+			return false
+		}
+		var stepVal ir.Value
+		switch {
+		case in.X == iv:
+			stepVal = in.Y
+		case in.Y == iv:
+			stepVal = in.X
+		default:
+			return false
+		}
+		c, ok := consts[stepVal]
+		if !ok || c <= 0 {
+			return false
+		}
+		step = c
+		found = true
+	}
+	if !found {
+		return false
+	}
+	// The unrolled copies skip the header, so the body must not consume
+	// values computed there (the header normally only computes the exit
+	// test).
+	headerDefs := map[ir.Value]bool{}
+	for i := range header.Instrs {
+		if d := header.Instrs[i].Def(); d != ir.NoValue {
+			headerDefs[d] = true
+		}
+	}
+	var ubuf []ir.Value
+	for i := range latch.Instrs {
+		for _, u := range latch.Instrs[i].Uses(ubuf[:0]) {
+			if headerDefs[u] {
+				return false
+			}
+		}
+	}
+	body := latch.Body()
+	bodySize := len(body)
+	if bodySize == 0 || bodySize > opts.MaxUnrolledInsns {
+		return false
+	}
+	factor := opts.MaxUnrollTimes
+	if m := opts.MaxUnrolledInsns / bodySize; m < factor {
+		factor = m
+	}
+	if factor < 2 {
+		return false
+	}
+
+	// Values needing copy-back at the end of the unrolled body: defs that
+	// are live around the back edge (live into the header). Everything
+	// else is iteration-local and its renamed copies simply die.
+	liveAtHeader := ir.ComputeLiveness(f).In[header]
+
+	ph := ensurePreheader(f, l)
+	uheader := f.NewBlock()
+	ubody := f.NewBlock()
+	uheader.Freq = header.Freq
+	ubody.Freq = latch.Freq
+
+	// Preheader: bound' = bound - (F-1)*step; redirect to uheader.
+	adj := f.NewValue()
+	adjC := f.NewValue()
+	phTerm := ph.Instrs[len(ph.Instrs)-1]
+	ph.Instrs = append(ph.Instrs[:len(ph.Instrs)-1],
+		ir.Instr{Op: ir.OpConst, Dst: adjC, Imm: int64(factor-1) * step},
+		ir.Instr{Op: ir.OpSub, Dst: adj, X: bound, Y: adjC},
+		phTerm,
+	)
+	for si, s := range ph.Succs {
+		if s == header {
+			ph.Succs[si] = uheader
+		}
+	}
+
+	// uheader: uc = cmp.Op(iv, adj); br uc -> ubody, header.
+	uc := f.NewValue()
+	uheader.Instrs = []ir.Instr{
+		{Op: cmp.Op, Dst: uc, X: iv, Y: adj},
+		{Op: ir.OpBr, X: uc},
+	}
+	uheader.Succs = []*ir.Block{ubody, header}
+
+	// ubody: F renamed copies of the latch body, then copy-backs, then a
+	// jump back to uheader.
+	cur := map[ir.Value]ir.Value{}
+	resolve := func(v ir.Value) ir.Value {
+		if v == ir.NoValue {
+			return v
+		}
+		if r, ok := cur[v]; ok {
+			return r
+		}
+		return v
+	}
+	var defOrder []ir.Value
+	defSeen := map[ir.Value]bool{}
+	for k := 0; k < factor; k++ {
+		for i := range body {
+			in := body[i]
+			ni := in
+			ni.X = resolve(in.X)
+			ni.Y = resolve(in.Y)
+			if len(in.Args) > 0 {
+				ni.Args = make([]ir.Value, len(in.Args))
+				for j, a := range in.Args {
+					ni.Args[j] = resolve(a)
+				}
+			}
+			if d := in.Def(); d != ir.NoValue {
+				nd := f.NewValue()
+				ni.Dst = nd
+				cur[d] = nd
+				if !defSeen[d] && liveAtHeader.Has(d) {
+					defSeen[d] = true
+					defOrder = append(defOrder, d)
+				}
+			}
+			ubody.Instrs = append(ubody.Instrs, ni)
+		}
+	}
+	for _, d := range defOrder {
+		ubody.Instrs = append(ubody.Instrs, ir.Instr{Op: ir.OpCopy, Dst: d, X: cur[d]})
+	}
+	ubody.Instrs = append(ubody.Instrs, ir.Instr{Op: ir.OpJmp})
+	ubody.Succs = []*ir.Block{uheader}
+
+	f.RecomputePreds()
+	f.RemoveUnreachable()
+	return true
+}

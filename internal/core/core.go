@@ -1,0 +1,136 @@
+// Package core is the library's public surface: a facade over the
+// compiler, simulator, experimental design, empirical modeling and
+// model-based search subsystems. It exposes the paper's workflow in a few
+// calls:
+//
+//	w := core.Workload("179.art", core.Train)        // pick a program
+//	h := core.NewHarness(core.DefaultScale)          // measurement harness
+//	study, _ := h.RunStudy([]string{"179.art"}, core.Train)
+//	table, _ := study.Table3()                       // model accuracy
+//	results, _ := study.SearchSettings(nil)          // GA flag search
+//
+// or, one level down, compile and simulate directly:
+//
+//	prog, stats, _ := core.Compile(src, core.O2())
+//	st, _ := core.Simulate(prog, core.TypicalConfig(), 100e6)
+//
+// Everything is deterministic given the harness seed.
+package core
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/doe"
+	"repro/internal/exp"
+	"repro/internal/isa"
+	"repro/internal/model"
+	"repro/internal/search"
+	"repro/internal/sim"
+	"repro/internal/smarts"
+	"repro/internal/workloads"
+)
+
+// Re-exported core types. The aliases keep one import path for users while
+// the implementation lives in focused subsystem packages.
+type (
+	// Options selects compiler optimizations (paper Table 1).
+	Options = compiler.Options
+	// Config is a microarchitectural configuration (paper Table 2).
+	Config = sim.Config
+	// Program is an executable for the synthetic ISA.
+	Program = isa.Program
+	// SimStats reports one simulation's measurements.
+	SimStats = sim.Stats
+	// Space is a design space over predictor variables.
+	Space = doe.Space
+	// Point is a raw-valued design point.
+	Point = doe.Point
+	// Dataset pairs coded design points with responses.
+	Dataset = model.Dataset
+	// Model predicts a response at a coded design point.
+	Model = model.Model
+	// Harness runs cached, deterministic measurements.
+	Harness = exp.Harness
+	// Study bundles measured data and fitted models per program.
+	Study = exp.Study
+	// Scale sets experiment sizes (quick/default/paper).
+	Scale = exp.Scale
+	// SearchResult is a GA search outcome.
+	SearchResult = exp.SearchResult
+	// GAOptions tunes the genetic algorithm.
+	GAOptions = search.GAOptions
+	// Sampler configures SMARTS sampled simulation.
+	Sampler = smarts.Sampler
+	// InputClass selects train or ref inputs.
+	InputClass = workloads.InputClass
+)
+
+// Input classes.
+const (
+	Train = workloads.Train
+	Ref   = workloads.Ref
+)
+
+// Experiment scales.
+var (
+	QuickScale   = exp.Quick
+	DefaultScale = exp.Default
+	PaperScale   = exp.Paper
+)
+
+// O0 returns options with every optimization disabled.
+func O0() Options { return compiler.O0() }
+
+// O2 returns the paper's baseline optimization level.
+func O2() Options { return compiler.O2() }
+
+// O3 returns the paper's "default O3" configuration.
+func O3() Options { return compiler.O3() }
+
+// ConstrainedConfig returns the paper's constrained microarchitecture.
+func ConstrainedConfig() Config { return sim.Constrained() }
+
+// TypicalConfig returns the paper's typical microarchitecture.
+func TypicalConfig() Config { return sim.DefaultConfig() }
+
+// AggressiveConfig returns the paper's aggressive microarchitecture.
+func AggressiveConfig() Config { return sim.Aggressive() }
+
+// Compile compiles MiniC source text with the given optimization options.
+func Compile(src string, opts Options) (*Program, *compiler.Stats, error) {
+	return compiler.CompileSource(src, opts)
+}
+
+// Simulate runs prog to completion on the cycle-level simulator.
+func Simulate(prog *Program, cfg Config, maxInstrs int64) (SimStats, error) {
+	return sim.Simulate(prog, cfg, maxInstrs)
+}
+
+// SimulateSampled runs prog under SMARTS statistical sampling, trading a
+// small, quantified estimation error for large time savings.
+func SimulateSampled(prog *Program, cfg Config, s Sampler, maxInstrs int64) (*smarts.Result, error) {
+	return smarts.Run(prog, cfg, s, maxInstrs)
+}
+
+// DefaultSampler returns the paper's SMARTS parameters (1000-instruction
+// windows, 1-in-1000 sampled).
+func DefaultSampler() Sampler { return smarts.DefaultSampler() }
+
+// Workload returns one of the seven benchmark programs.
+func Workload(name string, class InputClass) (workloads.Workload, error) {
+	return workloads.Get(name, class)
+}
+
+// WorkloadNames lists the seven benchmarks in the paper's order.
+func WorkloadNames() []string { return workloads.Names() }
+
+// JointSpace returns the paper's 25-variable compiler+microarchitecture
+// design space.
+func JointSpace() *Space { return doe.JointSpace() }
+
+// NewHarness builds a measurement harness at the given scale (seed 1; set
+// Harness.Seed and Harness.CacheDir before first use to change).
+func NewHarness(scale Scale) *Harness { return exp.NewHarness(scale) }
+
+// FitModels fits the paper's three model families (linear regression with
+// interactions, MARS, hybrid RBF-RT) on a measured dataset.
+func FitModels(data *Dataset) (map[string]Model, error) { return exp.FitAll(data) }

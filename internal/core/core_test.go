@@ -1,0 +1,85 @@
+package core
+
+import "testing"
+
+func TestFacadeCompileAndSimulate(t *testing.T) {
+	prog, stats, err := Compile(`int main() { return 6 * 7; }`, O2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MachineInstrs == 0 {
+		t.Fatal("no machine code")
+	}
+	st, err := Simulate(prog, TypicalConfig(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExitValue != 42 {
+		t.Fatalf("exit = %d", st.ExitValue)
+	}
+}
+
+func TestFacadeConfigsAndWorkloads(t *testing.T) {
+	for _, cfg := range []Config{ConstrainedConfig(), TypicalConfig(), AggressiveConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config invalid: %v", err)
+		}
+	}
+	if len(WorkloadNames()) != 7 {
+		t.Fatal("seven benchmarks expected")
+	}
+	w, err := Workload("179.art", Train)
+	if err != nil || w.Source == "" {
+		t.Fatalf("workload lookup failed: %v", err)
+	}
+	if _, err := Workload("nope", Ref); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+	if JointSpace().NumVars() != 25 {
+		t.Fatal("joint space")
+	}
+}
+
+func TestFacadeSampledSimulation(t *testing.T) {
+	w, err := Workload("256.bzip2", Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := Compile(w.Source, O2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DefaultSampler()
+	s.Interval = 20
+	res, err := SimulateSampled(prog, TypicalConfig(), s, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EstimatedCycles <= 0 || res.Windows == 0 {
+		t.Fatalf("sampled result degenerate: %+v", res)
+	}
+}
+
+func TestFacadeHarnessAndModels(t *testing.T) {
+	h := NewHarness(Scale{Name: "core-test", TrainPoints: 20, TestPoints: 8})
+	w, err := Workload("256.bzip2", Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := h.Collect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := FitModels(pd.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"linear", "mars", "rbf"} {
+		if ms[name] == nil {
+			t.Fatalf("missing model %q", name)
+		}
+		if p := ms[name].Predict(pd.Test.X[0]); p <= 0 {
+			t.Fatalf("%s predicts nonpositive cycles: %v", name, p)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"fmt"
+
+	core "repro/internal/core"
+)
+
+// ExampleCompile shows the minimal compile-and-simulate loop.
+func ExampleCompile() {
+	src := `
+int main() {
+	int s = 0;
+	for (int i = 1; i <= 10; i = i + 1) {
+		s = s + i;
+	}
+	return s;
+}`
+	prog, _, err := core.Compile(src, core.O2())
+	if err != nil {
+		panic(err)
+	}
+	st, err := core.Simulate(prog, core.TypicalConfig(), 1_000_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("result:", st.ExitValue)
+	// Output:
+	// result: 55
+}
+
+// ExampleSimulate demonstrates that optimization levels change cycle counts
+// but never results.
+func ExampleSimulate() {
+	src := `
+int a[512];
+int main() {
+	int s = 0;
+	for (int r = 0; r < 20; r = r + 1) {
+		for (int i = 0; i < 512; i = i + 1) {
+			a[i] = i + r;
+			s = s + a[i] * 3;
+		}
+	}
+	return s;
+}`
+	var cycles [2]int64
+	var results [2]int64
+	for i, opts := range []core.Options{core.O0(), core.O2()} {
+		prog, _, err := core.Compile(src, opts)
+		if err != nil {
+			panic(err)
+		}
+		st, err := core.Simulate(prog, core.TypicalConfig(), 1_000_000)
+		if err != nil {
+			panic(err)
+		}
+		cycles[i] = st.Cycles
+		results[i] = st.ExitValue
+	}
+	fmt.Println("same result:", results[0] == results[1])
+	fmt.Println("O2 faster:", cycles[1] < cycles[0])
+	// Output:
+	// same result: true
+	// O2 faster: true
+}
+
+// ExampleJointSpace shows the paper's 25-variable design space.
+func ExampleJointSpace() {
+	space := core.JointSpace()
+	fmt.Println("variables:", space.NumVars())
+	fmt.Println("first:", space.Vars[0].Name)
+	fmt.Println("last:", space.Vars[24].Name)
+	// Output:
+	// variables: 25
+	// first: finline-functions
+	// last: mem-lat
+}
+
+// ExampleWorkloadNames lists the benchmark suite.
+func ExampleWorkloadNames() {
+	for _, n := range core.WorkloadNames() {
+		fmt.Println(n)
+	}
+	// Output:
+	// 164.gzip
+	// 175.vpr
+	// 177.mesa
+	// 179.art
+	// 181.mcf
+	// 255.vortex
+	// 256.bzip2
+}

@@ -1,0 +1,231 @@
+package doe
+
+import (
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// Expansion selects the regression model whose information matrix the
+// D-optimality criterion targets.
+type Expansion uint8
+
+const (
+	// ExpandLinear uses intercept + main effects.
+	ExpandLinear Expansion = iota
+	// ExpandInteractions adds all two-factor interaction terms, matching
+	// the linear models of the paper (Equation 2).
+	ExpandInteractions
+)
+
+// NumTerms returns the length of an expanded row for k variables.
+func (e Expansion) NumTerms(k int) int {
+	if e == ExpandInteractions {
+		return 1 + k + k*(k-1)/2
+	}
+	return 1 + k
+}
+
+// ExpandCoded maps coded coordinates to a regression row: intercept, main
+// effects, and (for ExpandInteractions) products x_i*x_j with i < j.
+func ExpandCoded(coded []float64, e Expansion) []float64 {
+	k := len(coded)
+	row := make([]float64, 0, e.NumTerms(k))
+	row = append(row, 1)
+	row = append(row, coded...)
+	if e == ExpandInteractions {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				row = append(row, coded[i]*coded[j])
+			}
+		}
+	}
+	return row
+}
+
+// Design is a selected set of design points with their expanded rows.
+type Design struct {
+	Space     *Space
+	Points    []Point
+	Expansion Expansion
+}
+
+// Matrix returns the expanded design matrix.
+func (d *Design) Matrix() *linalg.Matrix {
+	rows := make([][]float64, len(d.Points))
+	for i, p := range d.Points {
+		rows[i] = ExpandCoded(d.Space.Code(p), d.Expansion)
+	}
+	return linalg.FromRows(rows)
+}
+
+// LogDet returns log det(XᵀX) of the design's information matrix.
+func (d *Design) LogDet() float64 { return linalg.LogDetGram(d.Matrix()) }
+
+// DOptions tunes the Fedorov exchange search.
+type DOptions struct {
+	Candidates int // candidate pool size (default 10x design size)
+	MaxSweeps  int // exchange sweeps (default 20)
+	Expansion  Expansion
+}
+
+// DOptimal selects an n-point D-optimal design from a candidate pool using
+// Fedorov's exchange algorithm with Sherman–Morrison dispersion updates.
+// Candidates are drawn by Latin hypercube sampling from the space; pass a
+// seeded rng for reproducibility.
+func DOptimal(space *Space, n int, rng *rand.Rand, opt DOptions) *Design {
+	return dOptimal(space, nil, n, rng, opt)
+}
+
+// AugmentDOptimal extends an existing design with nAdd additional D-optimal
+// points, leaving the existing points fixed — the extensibility property the
+// paper highlights for iterative refinement.
+func AugmentDOptimal(space *Space, existing []Point, nAdd int, rng *rand.Rand, opt DOptions) *Design {
+	return dOptimal(space, existing, nAdd, rng, opt)
+}
+
+func dOptimal(space *Space, fixed []Point, n int, rng *rand.Rand, opt DOptions) *Design {
+	if opt.Candidates == 0 {
+		opt.Candidates = 10 * (n + len(fixed))
+	}
+	if opt.MaxSweeps == 0 {
+		opt.MaxSweeps = 20
+	}
+	cands := space.LatinHypercube(opt.Candidates, rng)
+	// Candidate rows.
+	crows := make([][]float64, len(cands))
+	for i, p := range cands {
+		crows[i] = ExpandCoded(space.Code(p), opt.Expansion)
+	}
+	frows := make([][]float64, len(fixed))
+	for i, p := range fixed {
+		frows[i] = ExpandCoded(space.Code(p), opt.Expansion)
+	}
+	k := opt.Expansion.NumTerms(space.NumVars())
+
+	// Initial selection: first n of a random permutation.
+	sel := rng.Perm(len(cands))[:n]
+
+	// Dispersion matrix D = (XᵀX + εI)⁻¹ over fixed + selected rows.
+	computeD := func() *linalg.Matrix {
+		g := linalg.NewMatrix(k, k)
+		addOuter := func(row []float64) {
+			for i := 0; i < k; i++ {
+				if row[i] == 0 {
+					continue
+				}
+				gi := g.Row(i)
+				for j := 0; j < k; j++ {
+					gi[j] += row[i] * row[j]
+				}
+			}
+		}
+		for _, r := range frows {
+			addOuter(r)
+		}
+		for _, ci := range sel {
+			addOuter(crows[ci])
+		}
+		for i := 0; i < k; i++ {
+			g.Set(i, i, g.At(i, i)+1e-6)
+		}
+		inv, err := linalg.Inverse(g)
+		if err != nil {
+			// ε-regularized matrix should always invert; fall back to
+			// stronger ridge if numerical trouble appears.
+			for i := 0; i < k; i++ {
+				g.Set(i, i, g.At(i, i)+1e-3)
+			}
+			inv, _ = linalg.Inverse(g)
+		}
+		return inv
+	}
+
+	quad := func(d *linalg.Matrix, x, y []float64) float64 {
+		// xᵀ D y
+		s := 0.0
+		for i := 0; i < k; i++ {
+			if x[i] == 0 {
+				continue
+			}
+			di := d.Row(i)
+			t := 0.0
+			for j := 0; j < k; j++ {
+				t += di[j] * y[j]
+			}
+			s += x[i] * t
+		}
+		return s
+	}
+
+	inDesign := make([]bool, len(cands))
+	for _, ci := range sel {
+		inDesign[ci] = true
+	}
+
+	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+		d := computeD() // fresh each sweep: bounds SM drift
+		improved := false
+		for si, out := range sel {
+			xj := crows[out]
+			dj := quad(d, xj, xj)
+			bestDelta, bestC := 1e-9, -1
+			for ci := range cands {
+				if inDesign[ci] {
+					continue
+				}
+				x := crows[ci]
+				dx := quad(d, x, x)
+				dxj := quad(d, x, xj)
+				delta := dx - (dx*dj - dxj*dxj) - dj
+				if delta > bestDelta {
+					bestDelta, bestC = delta, ci
+				}
+			}
+			if bestC < 0 {
+				continue
+			}
+			// Swap: add bestC, remove out; update D by Sherman–Morrison.
+			add := crows[bestC]
+			d = smUpdate(d, add, +1, k)
+			d = smUpdate(d, xj, -1, k)
+			inDesign[out] = false
+			inDesign[bestC] = true
+			sel[si] = bestC
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+
+	pts := make([]Point, n)
+	for i, ci := range sel {
+		pts[i] = cands[ci]
+	}
+	all := append(append([]Point{}, fixed...), pts...)
+	return &Design{Space: space, Points: all, Expansion: opt.Expansion}
+}
+
+// smUpdate applies the Sherman–Morrison update for adding (sign=+1) or
+// removing (sign=-1) row x from the information matrix: given D=(XᵀX)⁻¹,
+// returns (XᵀX ± xxᵀ)⁻¹.
+func smUpdate(d *linalg.Matrix, x []float64, sign float64, k int) *linalg.Matrix {
+	dx := d.MulVec(x)
+	denom := 1.0
+	for i := range x {
+		denom += sign * x[i] * dx[i]
+	}
+	if denom == 0 {
+		return d // degenerate; next sweep recomputes from scratch
+	}
+	out := d.Clone()
+	scale := sign / denom
+	for i := 0; i < k; i++ {
+		oi := out.Row(i)
+		for j := 0; j < k; j++ {
+			oi[j] -= scale * dx[i] * dx[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package doe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compiler"
+	"repro/internal/sim"
+)
+
+func TestSpacesMatchPaperTables(t *testing.T) {
+	cs := CompilerSpace()
+	if cs.NumVars() != 14 {
+		t.Fatalf("Table 1 has 14 parameters, got %d", cs.NumVars())
+	}
+	ms := MicroarchSpace()
+	if ms.NumVars() != 11 {
+		t.Fatalf("Table 2 has 11 parameters, got %d", ms.NumVars())
+	}
+	js := JointSpace()
+	if js.NumVars() != 25 {
+		t.Fatalf("joint space should have 25 vars, got %d", js.NumVars())
+	}
+	if NumCompilerVars != 14 {
+		t.Fatal("NumCompilerVars")
+	}
+	// Spot-check levels against the paper.
+	checks := map[string]int{
+		"max-inline-insns-auto": 11,
+		"inline-call-cost":      9,
+		"max-unroll-times":      9,
+		"max-unrolled-insns":    21,
+		"bpred-size":            5,
+		"l2-kb":                 6,
+		"mem-lat":               21,
+		"dcache-lat":            3,
+	}
+	for name, want := range checks {
+		i := js.Index(name)
+		if i < 0 {
+			t.Errorf("missing var %s", name)
+			continue
+		}
+		if got := len(js.Vars[i].LevelValues()); got != want {
+			t.Errorf("%s: %d levels, want %d", name, got, want)
+		}
+	}
+}
+
+func TestLogIntLevelsArePowersOfTwo(t *testing.T) {
+	v := Var{Name: "bpred", Kind: LogInt, Low: 512, High: 8192, Levels: 5}
+	want := []int64{512, 1024, 2048, 4096, 8192}
+	got := v.LevelValues()
+	if len(got) != len(want) {
+		t.Fatalf("levels = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCodeDecodeRoundTrip(t *testing.T) {
+	s := JointSpace()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := s.RandomPoint(rng)
+		if err := s.Validate(p); err != nil {
+			t.Fatal(err)
+		}
+		coded := s.Code(p)
+		for _, c := range coded {
+			if c < -1.0001 || c > 1.0001 {
+				t.Fatalf("coded value %v out of [-1,1]", c)
+			}
+		}
+		back := s.Decode(coded)
+		for i := range p {
+			if back[i] != p[i] {
+				t.Fatalf("round trip failed at %s: %d -> %d",
+					s.Vars[i].Name, p[i], back[i])
+			}
+		}
+	}
+}
+
+func TestPropertyCodeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := JointSpace()
+		p := s.RandomPoint(rng)
+		for _, c := range s.Code(p) {
+			if math.IsNaN(c) || c < -1 || c > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatinHypercubeCoverage(t *testing.T) {
+	s := &Space{Vars: []Var{
+		{Name: "a", Kind: Int, Low: 0, High: 9, Levels: 10},
+		{Name: "b", Kind: Flag, Low: 0, High: 1, Levels: 2},
+	}}
+	rng := rand.New(rand.NewSource(3))
+	pts := s.LatinHypercube(10, rng)
+	// Dimension a must cover all 10 levels exactly once.
+	seen := map[int64]int{}
+	ones := 0
+	for _, p := range pts {
+		seen[p[0]]++
+		if p[1] == 1 {
+			ones++
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("LHS should cover all levels; saw %d distinct", len(seen))
+	}
+	// Dimension b should be balanced.
+	if ones != 5 {
+		t.Errorf("flag should be balanced: %d ones of 10", ones)
+	}
+}
+
+func TestDOptimalBeatsRandom(t *testing.T) {
+	s := MicroarchSpace()
+	rng := rand.New(rand.NewSource(11))
+	n := 24
+	des := DOptimal(s, n, rng, DOptions{Expansion: ExpandLinear})
+	if len(des.Points) != n {
+		t.Fatalf("design size %d, want %d", len(des.Points), n)
+	}
+	dOptDet := des.LogDet()
+
+	// Average random designs of the same size.
+	sum, trials := 0.0, 10
+	for i := 0; i < trials; i++ {
+		r := &Design{Space: s, Expansion: ExpandLinear}
+		for j := 0; j < n; j++ {
+			r.Points = append(r.Points, s.RandomPoint(rng))
+		}
+		sum += r.LogDet()
+	}
+	randDet := sum / float64(trials)
+	if dOptDet <= randDet {
+		t.Errorf("D-optimal logdet %.2f should beat random %.2f", dOptDet, randDet)
+	}
+	t.Logf("logdet: d-optimal=%.2f random=%.2f", dOptDet, randDet)
+}
+
+func TestDOptimalDeterministic(t *testing.T) {
+	s := CompilerSpace()
+	a := DOptimal(s, 20, rand.New(rand.NewSource(5)), DOptions{Expansion: ExpandLinear})
+	b := DOptimal(s, 20, rand.New(rand.NewSource(5)), DOptions{Expansion: ExpandLinear})
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatal("same seed must give the same design")
+			}
+		}
+	}
+}
+
+func TestAugmentKeepsExistingPoints(t *testing.T) {
+	s := MicroarchSpace()
+	rng := rand.New(rand.NewSource(13))
+	base := DOptimal(s, 15, rng, DOptions{Expansion: ExpandLinear})
+	aug := AugmentDOptimal(s, base.Points, 10, rng, DOptions{Expansion: ExpandLinear})
+	if len(aug.Points) != 25 {
+		t.Fatalf("augmented size %d, want 25", len(aug.Points))
+	}
+	for i, p := range base.Points {
+		for j := range p {
+			if aug.Points[i][j] != p[j] {
+				t.Fatal("augmentation must preserve existing points")
+			}
+		}
+	}
+	if aug.LogDet() <= base.LogDet() {
+		t.Error("adding points should increase information")
+	}
+}
+
+func TestExpansionTerms(t *testing.T) {
+	coded := []float64{0.5, -1, 1}
+	lin := ExpandCoded(coded, ExpandLinear)
+	if len(lin) != 4 || lin[0] != 1 || lin[2] != -1 {
+		t.Fatalf("linear expansion = %v", lin)
+	}
+	inter := ExpandCoded(coded, ExpandInteractions)
+	if len(inter) != ExpandInteractions.NumTerms(3) || len(inter) != 7 {
+		t.Fatalf("interaction expansion = %v", inter)
+	}
+	// x0*x1 = -0.5, x0*x2 = 0.5, x1*x2 = -1
+	if inter[4] != -0.5 || inter[5] != 0.5 || inter[6] != -1 {
+		t.Fatalf("interaction terms = %v", inter[4:])
+	}
+}
+
+func TestOptionConfigConversions(t *testing.T) {
+	js := JointSpace()
+	rng := rand.New(rand.NewSource(21))
+	p := js.RandomPoint(rng)
+	opts := ToOptions(p, 4)
+	cfg := ToConfig(p)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("decoded config invalid: %v", err)
+	}
+	// Round trip.
+	back := JoinPoint(FromOptions(opts), FromConfig(cfg))
+	for i := range p {
+		if back[i] != p[i] {
+			t.Fatalf("round trip failed at %s: %d -> %d", js.Vars[i].Name, p[i], back[i])
+		}
+	}
+	// Spot-check known mappings.
+	o2 := compiler.O2()
+	comp := FromOptions(o2)
+	if comp[0] != 0 || comp[2] != 1 || comp[6] != 1 {
+		t.Errorf("FromOptions(O2) = %v", comp)
+	}
+	def := sim.DefaultConfig()
+	m := FromConfig(def)
+	if m[0] != 4 || m[1] != 2048 {
+		t.Errorf("FromConfig(default) = %v", m)
+	}
+}

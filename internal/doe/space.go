@@ -1,0 +1,319 @@
+// Package doe implements the experimental-design half of the paper: the
+// joint compiler/microarchitecture parameter space (Tables 1 and 2), coded
+// variable transformations, Latin hypercube and random candidate generation,
+// and Fedorov-exchange D-optimal design selection.
+package doe
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/compiler"
+	"repro/internal/sim"
+)
+
+// VarKind classifies a predictor variable.
+type VarKind uint8
+
+const (
+	// Flag is a binary categorical variable encoded 0/1.
+	Flag VarKind = iota
+	// Int is an ordinary discrete variable varied at evenly spaced levels.
+	Int
+	// LogInt is a discrete variable that only varies in powers of two and
+	// is log-transformed before coding (cache sizes, buffer sizes).
+	LogInt
+)
+
+// Var describes one predictor variable and its range.
+type Var struct {
+	Name   string
+	Kind   VarKind
+	Low    int64 // inclusive raw bound
+	High   int64 // inclusive raw bound
+	Levels int   // number of levels between Low and High
+}
+
+// LevelValues returns the raw values the variable may take, ascending.
+func (v Var) LevelValues() []int64 {
+	switch v.Kind {
+	case Flag:
+		return []int64{0, 1}
+	case LogInt:
+		var vals []int64
+		lo, hi := math.Log2(float64(v.Low)), math.Log2(float64(v.High))
+		for i := 0; i < v.Levels; i++ {
+			f := lo + (hi-lo)*float64(i)/float64(v.Levels-1)
+			vals = append(vals, int64(math.Round(math.Pow(2, f))))
+		}
+		return dedupe(vals)
+	default:
+		if v.Levels <= 1 {
+			return []int64{v.Low}
+		}
+		var vals []int64
+		for i := 0; i < v.Levels; i++ {
+			f := float64(v.Low) + float64(v.High-v.Low)*float64(i)/float64(v.Levels-1)
+			vals = append(vals, int64(math.Round(f)))
+		}
+		return dedupe(vals)
+	}
+}
+
+func dedupe(vals []int64) []int64 {
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Code maps a raw value to the coded scale [-1, 1] (log-transformed first
+// for LogInt variables), as the paper prescribes for all parameters.
+func (v Var) Code(raw int64) float64 {
+	var x, lo, hi float64
+	switch v.Kind {
+	case LogInt:
+		x, lo, hi = math.Log2(float64(raw)), math.Log2(float64(v.Low)), math.Log2(float64(v.High))
+	default:
+		x, lo, hi = float64(raw), float64(v.Low), float64(v.High)
+	}
+	if hi == lo {
+		return 0
+	}
+	return 2*(x-lo)/(hi-lo) - 1
+}
+
+// Decode maps a coded value in [-1, 1] back to the nearest raw level.
+func (v Var) Decode(coded float64) int64 {
+	levels := v.LevelValues()
+	best, bestD := levels[0], math.Inf(1)
+	for _, lv := range levels {
+		if d := math.Abs(v.Code(lv) - coded); d < bestD {
+			best, bestD = lv, d
+		}
+	}
+	return best
+}
+
+// Space is an ordered set of predictor variables; a design point assigns a
+// raw value to each.
+type Space struct {
+	Vars []Var
+}
+
+// Point is a raw-valued design point (one value per Space variable).
+type Point []int64
+
+// NumVars returns the dimensionality of the space.
+func (s *Space) NumVars() int { return len(s.Vars) }
+
+// Index returns the position of the named variable, or -1.
+func (s *Space) Index(name string) int {
+	for i, v := range s.Vars {
+		if v.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Code maps a raw point to coded coordinates.
+func (s *Space) Code(p Point) []float64 {
+	out := make([]float64, len(s.Vars))
+	for i, v := range s.Vars {
+		out[i] = v.Code(p[i])
+	}
+	return out
+}
+
+// Decode snaps coded coordinates back to raw levels.
+func (s *Space) Decode(coded []float64) Point {
+	out := make(Point, len(s.Vars))
+	for i, v := range s.Vars {
+		out[i] = v.Decode(coded[i])
+	}
+	return out
+}
+
+// RandomPoint draws each variable uniformly from its levels.
+func (s *Space) RandomPoint(rng *rand.Rand) Point {
+	p := make(Point, len(s.Vars))
+	for i, v := range s.Vars {
+		levels := v.LevelValues()
+		p[i] = levels[rng.Intn(len(levels))]
+	}
+	return p
+}
+
+// LatinHypercube draws n points stratified per dimension: each variable's
+// levels are sampled in shuffled, evenly covering order.
+func (s *Space) LatinHypercube(n int, rng *rand.Rand) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = make(Point, len(s.Vars))
+	}
+	for d, v := range s.Vars {
+		levels := v.LevelValues()
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			// Stratum perm[i] of n maps onto the level grid.
+			li := perm[i] * len(levels) / n
+			pts[i][d] = levels[li]
+		}
+	}
+	return pts
+}
+
+// Validate checks that a point is within range.
+func (s *Space) Validate(p Point) error {
+	if len(p) != len(s.Vars) {
+		return fmt.Errorf("doe: point has %d values, space has %d vars", len(p), len(s.Vars))
+	}
+	for i, v := range s.Vars {
+		if p[i] < v.Low && v.Kind != Flag || p[i] > v.High {
+			return fmt.Errorf("doe: %s = %d out of range [%d, %d]", v.Name, p[i], v.Low, v.High)
+		}
+	}
+	return nil
+}
+
+// CompilerVars returns the 14 compiler variables of Table 1, in the paper's
+// order.
+func CompilerVars() []Var {
+	return []Var{
+		{Name: "finline-functions", Kind: Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "funroll-loops", Kind: Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "fschedule-insns2", Kind: Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "floop-optimize", Kind: Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "fgcse", Kind: Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "fstrength-reduce", Kind: Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "fomit-frame-pointer", Kind: Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "freorder-blocks", Kind: Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "fprefetch-loop-arrays", Kind: Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "max-inline-insns-auto", Kind: Int, Low: 50, High: 150, Levels: 11},
+		{Name: "inline-unit-growth", Kind: Int, Low: 25, High: 75, Levels: 11},
+		{Name: "inline-call-cost", Kind: Int, Low: 12, High: 20, Levels: 9},
+		{Name: "max-unroll-times", Kind: Int, Low: 4, High: 12, Levels: 9},
+		{Name: "max-unrolled-insns", Kind: Int, Low: 100, High: 300, Levels: 21},
+	}
+}
+
+// MicroarchVars returns the 11 microarchitectural variables of Table 2.
+// Variables marked "*" in the paper are log-transformed (LogInt here).
+func MicroarchVars() []Var {
+	return []Var{
+		{Name: "issue-width", Kind: Int, Low: 2, High: 4, Levels: 2},
+		{Name: "bpred-size", Kind: LogInt, Low: 512, High: 8192, Levels: 5},
+		{Name: "ruu-size", Kind: LogInt, Low: 16, High: 128, Levels: 4},
+		{Name: "icache-kb", Kind: LogInt, Low: 8, High: 128, Levels: 5},
+		{Name: "dcache-kb", Kind: LogInt, Low: 8, High: 128, Levels: 5},
+		{Name: "dcache-assoc", Kind: Int, Low: 1, High: 2, Levels: 2},
+		{Name: "dcache-lat", Kind: Int, Low: 1, High: 3, Levels: 3},
+		{Name: "l2-kb", Kind: LogInt, Low: 256, High: 8192, Levels: 6},
+		{Name: "l2-assoc", Kind: LogInt, Low: 1, High: 8, Levels: 4},
+		{Name: "l2-lat", Kind: Int, Low: 6, High: 16, Levels: 11},
+		{Name: "mem-lat", Kind: Int, Low: 50, High: 150, Levels: 21},
+	}
+}
+
+// JointSpace returns the paper's 25-variable space: compiler variables
+// first, then microarchitectural ones.
+func JointSpace() *Space {
+	return &Space{Vars: append(CompilerVars(), MicroarchVars()...)}
+}
+
+// CompilerSpace returns the 14-variable compiler-only space.
+func CompilerSpace() *Space { return &Space{Vars: CompilerVars()} }
+
+// MicroarchSpace returns the 11-variable microarchitecture-only space.
+func MicroarchSpace() *Space { return &Space{Vars: MicroarchVars()} }
+
+// NumCompilerVars is the count of compiler variables preceding the
+// microarchitectural block in the joint space.
+const NumCompilerVars = 14
+
+// ToOptions converts the compiler block of a joint-space (or compiler-space)
+// point into compiler.Options. issueWidth parameterizes the scheduler's
+// machine model; pass the microarch issue width for joint points.
+func ToOptions(p Point, issueWidth int) compiler.Options {
+	b := func(i int) bool { return p[i] != 0 }
+	return compiler.Options{
+		InlineFunctions:    b(0),
+		UnrollLoops:        b(1),
+		ScheduleInsns:      b(2),
+		LoopOptimize:       b(3),
+		GCSE:               b(4),
+		StrengthReduce:     b(5),
+		OmitFramePointer:   b(6),
+		ReorderBlocks:      b(7),
+		PrefetchLoopArray:  b(8),
+		MaxInlineInsnsAuto: int(p[9]),
+		InlineUnitGrowth:   int(p[10]),
+		InlineCallCost:     int(p[11]),
+		MaxUnrollTimes:     int(p[12]),
+		MaxUnrolledInsns:   int(p[13]),
+		TargetIssueWidth:   issueWidth,
+	}
+}
+
+// ToConfig converts the microarchitectural block of a joint-space point
+// (indices NumCompilerVars..) into a simulator configuration.
+func ToConfig(p Point) sim.Config {
+	m := p[NumCompilerVars:]
+	return sim.Config{
+		IssueWidth:  int(m[0]),
+		BPredSize:   int(m[1]),
+		RUUSize:     int(m[2]),
+		ICacheKB:    int(m[3]),
+		DCacheKB:    int(m[4]),
+		DCacheAssoc: int(m[5]),
+		DCacheLat:   int(m[6]),
+		L2KB:        int(m[7]),
+		L2Assoc:     int(m[8]),
+		L2Lat:       int(m[9]),
+		MemLat:      int(m[10]),
+	}
+}
+
+// FromConfig converts a simulator configuration into the microarchitectural
+// block of a joint-space point.
+func FromConfig(c sim.Config) []int64 {
+	return []int64{
+		int64(c.IssueWidth), int64(c.BPredSize), int64(c.RUUSize),
+		int64(c.ICacheKB), int64(c.DCacheKB), int64(c.DCacheAssoc),
+		int64(c.DCacheLat), int64(c.L2KB), int64(c.L2Assoc),
+		int64(c.L2Lat), int64(c.MemLat),
+	}
+}
+
+// FromOptions converts compiler options into the compiler block of a
+// joint-space point.
+func FromOptions(o compiler.Options) []int64 {
+	b := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	return []int64{
+		b(o.InlineFunctions), b(o.UnrollLoops), b(o.ScheduleInsns),
+		b(o.LoopOptimize), b(o.GCSE), b(o.StrengthReduce),
+		b(o.OmitFramePointer), b(o.ReorderBlocks), b(o.PrefetchLoopArray),
+		int64(o.MaxInlineInsnsAuto), int64(o.InlineUnitGrowth),
+		int64(o.InlineCallCost), int64(o.MaxUnrollTimes),
+		int64(o.MaxUnrolledInsns),
+	}
+}
+
+// JoinPoint concatenates a compiler block and a microarch block into a
+// joint-space point.
+func JoinPoint(comp, march []int64) Point {
+	p := make(Point, 0, len(comp)+len(march))
+	p = append(p, comp...)
+	p = append(p, march...)
+	return p
+}

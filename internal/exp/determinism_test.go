@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestStudyFullyDeterministic rebuilds a small study from scratch twice and
+// requires bit-identical tables — the reproducibility guarantee the README
+// advertises.
+func TestStudyFullyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism rebuild in -short mode")
+	}
+	small := Scale{Name: "det", TrainPoints: 25, TestPoints: 8,
+		GAPopulation: 12, GAGenerations: 5}
+	build := func() (string, string) {
+		h := NewHarness(small)
+		st, err := h.RunStudy([]string{"256.bzip2"}, workloads.Train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t3, _ := st.Table3()
+		results, err := st.SearchSettings(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t3, Table6(results, h.Space())
+	}
+	t3a, t6a := build()
+	t3b, t6b := build()
+	if t3a != t3b {
+		t.Errorf("Table 3 not reproducible:\n%s\nvs\n%s", t3a, t3b)
+	}
+	if t6a != t6b {
+		t.Errorf("Table 6 not reproducible:\n%s\nvs\n%s", t6a, t6b)
+	}
+}

@@ -1,0 +1,288 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+// Study holds measured datasets and fitted models for a set of programs —
+// the shared substrate for Tables 3, 4, 6, 7 and Figures 5, 6, 7.
+type Study struct {
+	Harness  *Harness
+	Class    workloads.InputClass
+	Programs []*ProgramData
+	// Models maps program key -> technique ("linear"/"mars"/"rbf") -> model.
+	Models map[string]map[string]model.Model
+}
+
+// RunStudy measures train/test data and fits all three model families for
+// the named programs (nil means the full seven-benchmark suite).
+func (h *Harness) RunStudy(names []string, class workloads.InputClass) (*Study, error) {
+	if names == nil {
+		names = workloads.Names()
+	}
+	st := &Study{Harness: h, Class: class, Models: map[string]map[string]model.Model{}}
+	for _, name := range names {
+		w, err := workloads.Get(name, class)
+		if err != nil {
+			return nil, err
+		}
+		pd, err := h.Collect(w)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := FitAll(pd.Train)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", w.Key(), err)
+		}
+		st.Programs = append(st.Programs, pd)
+		st.Models[w.Key()] = ms
+		h.logf("%s: fitted linear/mars/rbf", w.Key())
+	}
+	if err := h.SaveCache(); err != nil {
+		h.logf("cache save failed: %v", err)
+	}
+	return st, nil
+}
+
+// Table3Row is one program's prediction errors (percent) per technique.
+type Table3Row struct {
+	Program string
+	Linear  float64
+	MARS    float64
+	RBF     float64
+}
+
+// Table3 reproduces the paper's Table 3: average percentage test-set
+// prediction error of the three modeling techniques per program.
+func (s *Study) Table3() (string, []Table3Row) {
+	var rows []Table3Row
+	var sumL, sumM, sumR float64
+	for _, pd := range s.Programs {
+		ms := s.Models[pd.Workload.Key()]
+		r := Table3Row{
+			Program: pd.Workload.Key(),
+			Linear:  model.TestError(ms["linear"], pd.Test),
+			MARS:    model.TestError(ms["mars"], pd.Test),
+			RBF:     model.TestError(ms["rbf"], pd.Test),
+		}
+		rows = append(rows, r)
+		sumL += r.Linear
+		sumM += r.MARS
+		sumR += r.RBF
+	}
+	n := float64(len(rows))
+
+	t := newTable("Table 3: average prediction error (%) on the independent test set")
+	t.row("Benchmark-Input", "Linear model", "MARS", "RBF-RT")
+	for _, r := range rows {
+		t.row(r.Program, f2(r.Linear), f2(r.MARS), f2(r.RBF))
+	}
+	if n > 0 {
+		t.row("Average", f2(sumL/n), f2(sumM/n), f2(sumR/n))
+	}
+	return t.String(), rows
+}
+
+// Fig5Point is one (training size, error) sample of the learning curve.
+type Fig5Point struct {
+	Size    int
+	MeanErr float64
+	StdErr  float64
+}
+
+// Fig5 reproduces Figure 5: RBF test error (mean ± sigma over resampled
+// training subsets) as a function of training set size, per program.
+func (s *Study) Fig5() (string, map[string][]Fig5Point) {
+	const repeats = 4
+	out := map[string][]Fig5Point{}
+	t := newTable("Figure 5: RBF model error vs training set size (mean ± sigma)")
+	t.row("Benchmark-Input", "Size", "Mean err %", "Sigma")
+	for _, pd := range s.Programs {
+		pool := pd.Train
+		rng := s.Harness.rngFor("fig5-" + pd.Workload.Key())
+		var sizes []int
+		for f := 1; f <= 4; f++ {
+			sizes = append(sizes, pool.Len()*f/4)
+		}
+		for _, size := range sizes {
+			if size < 10 {
+				continue
+			}
+			var errs []float64
+			for r := 0; r < repeats; r++ {
+				sub := subsample(pool, size, rng)
+				m, err := FitRBF(sub)
+				if err != nil {
+					continue
+				}
+				errs = append(errs, model.TestError(m, pd.Test))
+			}
+			if len(errs) == 0 {
+				continue
+			}
+			p := Fig5Point{
+				Size:    size,
+				MeanErr: linalg.Mean(errs),
+				StdErr:  linalg.StdDev(errs),
+			}
+			out[pd.Workload.Key()] = append(out[pd.Workload.Key()], p)
+			t.row(pd.Workload.Key(), fmt.Sprint(size), f2(p.MeanErr), f2(p.StdErr))
+		}
+	}
+	return t.String(), out
+}
+
+func subsample(d *model.Dataset, size int, rng interface{ Perm(int) []int }) *model.Dataset {
+	if size >= d.Len() {
+		return d
+	}
+	idx := rng.Perm(d.Len())[:size]
+	xs := make([][]float64, size)
+	ys := make([]float64, size)
+	for i, j := range idx {
+		xs[i] = d.X[j]
+		ys[i] = d.Y[j]
+	}
+	sub, _ := model.NewDataset(xs, ys)
+	return sub
+}
+
+// Fig6Pair is one (actual, predicted) test point.
+type Fig6Pair struct {
+	Actual    float64
+	Predicted float64
+}
+
+// Fig6 reproduces Figure 6: actual vs RBF-predicted execution times on the
+// test set for the programs with the highest errors (the paper shows art,
+// vortex and mcf). Returns per-program scatter pairs plus the correlation.
+func (s *Study) Fig6(programs []string) (string, map[string][]Fig6Pair) {
+	if programs == nil {
+		programs = []string{"179.art", "255.vortex", "181.mcf"}
+	}
+	want := map[string]bool{}
+	for _, p := range programs {
+		want[p] = true
+	}
+	out := map[string][]Fig6Pair{}
+	t := newTable("Figure 6: actual vs predicted execution time (RBF models, test set)")
+	t.row("Benchmark-Input", "Points", "Correlation", "Max |err| %")
+	for _, pd := range s.Programs {
+		if !want[pd.Workload.Name] {
+			continue
+		}
+		m := s.Models[pd.Workload.Key()]["rbf"]
+		pred := model.PredictAll(m, pd.Test.X)
+		var pairs []Fig6Pair
+		maxErr := 0.0
+		for i := range pred {
+			pairs = append(pairs, Fig6Pair{Actual: pd.Test.Y[i], Predicted: pred[i]})
+			if e := 100 * math.Abs(pred[i]-pd.Test.Y[i]) / pd.Test.Y[i]; e > maxErr {
+				maxErr = e
+			}
+		}
+		out[pd.Workload.Key()] = pairs
+		t.row(pd.Workload.Key(), fmt.Sprint(len(pairs)),
+			f2(correlation(pd.Test.Y, pred)), f2(maxErr))
+	}
+	return t.String(), out
+}
+
+func correlation(a, b []float64) float64 {
+	ma, mb := linalg.Mean(a), linalg.Mean(b)
+	var sab, saa, sbb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// Table4Cell is one effect coefficient for one program.
+type Table4Cell struct {
+	Label string
+	Value float64
+}
+
+// Table4 reproduces the paper's Table 4: coefficients of the key parameters
+// and interactions inferred from the MARS models, per program. Rows are the
+// union of each program's top effects; values are in cycles (half the
+// predicted low-to-high change, the paper's convention).
+func (s *Study) Table4(topPerProgram int) (string, map[string][]Table4Cell) {
+	if topPerProgram == 0 {
+		topPerProgram = 10
+	}
+	space := s.Harness.Space()
+	perProg := map[string]map[string]float64{}
+	rowOrder := []string{}
+	rowMax := map[string]float64{}
+	for _, pd := range s.Programs {
+		m := s.Models[pd.Workload.Key()]["mars-raw"]
+		effects := model.TopEffects(m, space, pd.Train.X, topPerProgram)
+		cells := map[string]float64{}
+		for _, e := range effects {
+			cells[e.Label()] = e.Value
+			if a := math.Abs(e.Value); a > rowMax[e.Label()] {
+				if rowMax[e.Label()] == 0 {
+					rowOrder = append(rowOrder, e.Label())
+				}
+				rowMax[e.Label()] = a
+			}
+		}
+		perProg[pd.Workload.Key()] = cells
+	}
+	sort.SliceStable(rowOrder, func(i, j int) bool {
+		return rowMax[rowOrder[i]] > rowMax[rowOrder[j]]
+	})
+
+	t := newTable("Table 4: key parameter/interaction coefficients from MARS models (cycles)")
+	hdr := []string{"Parameter/interaction"}
+	for _, pd := range s.Programs {
+		hdr = append(hdr, pd.Workload.Name)
+	}
+	t.row(hdr...)
+	out := map[string][]Table4Cell{}
+	for _, label := range rowOrder {
+		cells := []string{label}
+		for _, pd := range s.Programs {
+			v, ok := perProg[pd.Workload.Key()][label]
+			if !ok {
+				cells = append(cells, "0")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.3g", v))
+			out[pd.Workload.Key()] = append(out[pd.Workload.Key()],
+				Table4Cell{Label: label, Value: v})
+		}
+		t.row(cells...)
+	}
+	return t.String(), out
+}
+
+// EffectDirections summarizes, for the named variable, the per-program main
+// effect from the MARS model — used by tests to check qualitative structure
+// (e.g. microarchitectural parameters dominate compiler flags).
+func (s *Study) EffectDirections(varName string) map[string]float64 {
+	space := s.Harness.Space()
+	vi := space.Index(varName)
+	out := map[string]float64{}
+	if vi < 0 {
+		return out
+	}
+	for _, pd := range s.Programs {
+		m := s.Models[pd.Workload.Key()]["mars-raw"]
+		out[pd.Workload.Key()] = model.MainEffect(m, pd.Train.X, vi)
+	}
+	return out
+}

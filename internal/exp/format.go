@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// table accumulates rows and renders an aligned text table.
+type table struct {
+	sb strings.Builder
+	tw *tabwriter.Writer
+}
+
+func newTable(title string) *table {
+	t := &table{}
+	if title != "" {
+		t.sb.WriteString(title + "\n")
+	}
+	t.tw = tabwriter.NewWriter(&t.sb, 2, 4, 2, ' ', 0)
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.tw, strings.Join(cells, "\t"))
+}
+
+func (t *table) String() string {
+	t.tw.Flush()
+	return t.sb.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestRefineToAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("refinement loop in -short mode")
+	}
+	h := NewHarness(tinyScale)
+	w := workloads.MustGet("256.bzip2", workloads.Train)
+	m, points, history, err := h.RefineToAccuracy(w, 8.0, 20, 15, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || len(points) < 20 {
+		t.Fatal("refinement returned nothing")
+	}
+	if len(history) < 1 {
+		t.Fatal("no history")
+	}
+	// The design must only grow, and each iteration is recorded.
+	for i := 1; i < len(history); i++ {
+		if history[i].Points <= history[i-1].Points {
+			t.Fatal("design should grow monotonically")
+		}
+	}
+	last := history[len(history)-1]
+	if last.CVError > 8.0 && last.Points+15 <= 65 {
+		t.Fatalf("loop stopped early: %+v", history)
+	}
+	t.Logf("history: %+v", history)
+
+	if _, _, _, err := h.RefineToAccuracy(w, 5, 2, 1, 1); err == nil {
+		t.Fatal("invalid sizes should error")
+	}
+}

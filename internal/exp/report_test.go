@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReportWriteAndReadBack(t *testing.T) {
+	r := &Report{
+		Scale:    "quick",
+		Seed:     1,
+		Programs: []string{"179.art-train"},
+		Table3:   []Table3Row{{Program: "179.art-train", Linear: 30, MARS: 10, RBF: 8}},
+		Fig5:     map[string][]Fig5Point{"179.art-train": {{Size: 20, MeanErr: 12, StdErr: 2}}},
+		Fig7:     []SpeedupRow{{Program: "179.art-train", Config: "typical", PredictedGA: 1.2, ActualGA: 1.1, ActualO3: 1.0}},
+		Fig3: &Fig3Result{
+			Cells:         []Fig3Cell{{UnrollTimes: 1, ICacheKB: 8, Cycles: 1e6}},
+			LinearPred8KB: map[int]float64{1: 9e5},
+		},
+	}
+	r.AddSearch([]SearchResult{{
+		Program: "179.art-train", Config: "typical",
+		Point:     make([]int64, 25),
+		Predicted: 123,
+	}})
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != "quick" || len(back.Table3) != 1 || back.Table3[0].RBF != 8 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if len(back.Search) != 1 || len(back.Search[0].Settings) != 14 {
+		t.Fatalf("search block wrong: %+v", back.Search)
+	}
+	if back.Fig3 == nil || back.Fig3.LinearPred8KB[1] != 9e5 {
+		t.Fatalf("fig3 block wrong: %+v", back.Fig3)
+	}
+}

@@ -1,0 +1,422 @@
+// Package ir defines the compiler's mid-level intermediate representation: a
+// three-address, virtual-register code organized into basic blocks with an
+// explicit control-flow graph. Optimization passes in internal/compiler
+// operate on this form; codegen lowers it to the synthetic ISA.
+//
+// The IR is not SSA: a virtual register may be defined more than once (loop
+// induction variables typically are). Passes that need SSA-like reasoning
+// restrict themselves to single-definition registers, which the Func tracks.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value identifies a virtual register.
+type Value int32
+
+// NoValue marks an absent operand.
+const NoValue Value = -1
+
+// Op enumerates IR operations.
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// dst = Imm
+	OpConst
+
+	// dst = X op Y (pure arithmetic).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpLt // set 1 if X < Y else 0
+	OpLe
+	OpEq
+	OpNe
+
+	// dst = X
+	OpCopy
+
+	// dst = &Sym (base address of a global)
+	OpAddr
+
+	// dst = mem[X]
+	OpLoad
+	// mem[X] = Y
+	OpStore
+	// non-binding prefetch of mem[X]
+	OpPrefetch
+
+	// dst = call Sym(Args...)
+	OpCall
+
+	// Terminators.
+	OpBr  // if X != 0 goto Blocks[0] else Blocks[1]
+	OpJmp // goto Blocks[0]
+	OpRet // return X (NoValue means return 0)
+
+	numOps
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpLt: "lt", OpLe: "le",
+	OpEq: "eq", OpNe: "ne", OpCopy: "copy", OpAddr: "addr", OpLoad: "load",
+	OpStore: "store", OpPrefetch: "prefetch", OpCall: "call", OpBr: "br",
+	OpJmp: "jmp", OpRet: "ret",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("irop(%d)", uint8(o))
+}
+
+// IsPure reports whether the op has no side effects and its result depends
+// only on its operands (candidates for CSE, LICM, folding).
+func (o Op) IsPure() bool {
+	switch o {
+	case OpConst, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpLt, OpLe, OpEq, OpNe, OpCopy, OpAddr:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether the op ends a basic block.
+func (o Op) IsTerminator() bool { return o == OpBr || o == OpJmp || o == OpRet }
+
+// HasDst reports whether the op defines Instr.Dst.
+func (o Op) HasDst() bool {
+	switch o {
+	case OpNop, OpStore, OpPrefetch, OpBr, OpJmp, OpRet:
+		return false
+	}
+	return true
+}
+
+// IsCommutative reports whether X and Y may be swapped.
+func (o Op) IsCommutative() bool {
+	switch o {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe:
+		return true
+	}
+	return false
+}
+
+// Instr is one IR instruction. Field use by op:
+//
+//	Const:        Dst, Imm
+//	arith:        Dst, X, Y
+//	Copy:         Dst, X
+//	Addr:         Dst, Sym
+//	Load:         Dst, X(addr)
+//	Store:        X(addr), Y(value)
+//	Prefetch:     X(addr)
+//	Call:         Dst, Sym, Args
+//	Br:           X(cond); successors carried by the Block
+//	Jmp, Ret:     (Ret: X, may be NoValue)
+type Instr struct {
+	Op   Op
+	Dst  Value
+	X, Y Value
+	Imm  int64
+	Sym  string
+	Args []Value
+}
+
+// Uses appends the values read by the instruction to buf and returns it.
+func (in *Instr) Uses(buf []Value) []Value {
+	switch in.Op {
+	case OpConst, OpAddr, OpNop, OpJmp:
+	case OpCopy, OpLoad, OpPrefetch, OpBr:
+		buf = append(buf, in.X)
+	case OpRet:
+		if in.X != NoValue {
+			buf = append(buf, in.X)
+		}
+	case OpStore:
+		buf = append(buf, in.X, in.Y)
+	case OpCall:
+		buf = append(buf, in.Args...)
+	default: // binary arithmetic
+		buf = append(buf, in.X, in.Y)
+	}
+	return buf
+}
+
+// Def returns the value defined by the instruction, or NoValue.
+func (in *Instr) Def() Value {
+	if in.Op.HasDst() {
+		return in.Dst
+	}
+	return NoValue
+}
+
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("v%d = const %d", in.Dst, in.Imm)
+	case OpCopy:
+		return fmt.Sprintf("v%d = v%d", in.Dst, in.X)
+	case OpAddr:
+		return fmt.Sprintf("v%d = addr %s", in.Dst, in.Sym)
+	case OpLoad:
+		return fmt.Sprintf("v%d = load [v%d]", in.Dst, in.X)
+	case OpStore:
+		return fmt.Sprintf("store [v%d] = v%d", in.X, in.Y)
+	case OpPrefetch:
+		return fmt.Sprintf("prefetch [v%d]", in.X)
+	case OpCall:
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = fmt.Sprintf("v%d", a)
+		}
+		return fmt.Sprintf("v%d = call %s(%s)", in.Dst, in.Sym, strings.Join(parts, ", "))
+	case OpBr:
+		return fmt.Sprintf("br v%d", in.X)
+	case OpJmp:
+		return "jmp"
+	case OpRet:
+		if in.X == NoValue {
+			return "ret"
+		}
+		return fmt.Sprintf("ret v%d", in.X)
+	case OpNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("v%d = %s v%d, v%d", in.Dst, in.Op, in.X, in.Y)
+	}
+}
+
+// Block is a basic block: straight-line instructions ending in a terminator.
+// Succs order matters for Br: Succs[0] is the taken (true) target, Succs[1]
+// the fall-through (false) target.
+type Block struct {
+	ID     int
+	Instrs []Instr
+	Succs  []*Block
+	Preds  []*Block
+
+	// Freq is an estimated execution frequency, set by static profile
+	// estimation; used by block reordering and inlining heuristics.
+	Freq float64
+}
+
+// Term returns a pointer to the block's terminator instruction.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	in := &b.Instrs[len(b.Instrs)-1]
+	if !in.Op.IsTerminator() {
+		return nil
+	}
+	return in
+}
+
+// Body returns the instructions excluding the terminator.
+func (b *Block) Body() []Instr {
+	if b.Term() != nil {
+		return b.Instrs[:len(b.Instrs)-1]
+	}
+	return b.Instrs
+}
+
+// Func is an IR function.
+type Func struct {
+	Name   string
+	Params []Value // one virtual register per parameter
+	Blocks []*Block
+	Entry  *Block
+
+	nextVal   Value
+	nextBlock int
+}
+
+// NewFunc creates an empty function with an entry block and one virtual
+// register per parameter.
+func NewFunc(name string, nparams int) *Func {
+	f := &Func{Name: name}
+	for i := 0; i < nparams; i++ {
+		f.Params = append(f.Params, f.NewValue())
+	}
+	f.Entry = f.NewBlock()
+	return f
+}
+
+// NewValue allocates a fresh virtual register.
+func (f *Func) NewValue() Value {
+	v := f.nextVal
+	f.nextVal++
+	return v
+}
+
+// NumValues returns the number of virtual registers allocated so far.
+func (f *Func) NumValues() int { return int(f.nextVal) }
+
+// NewBlock allocates a new empty basic block appended to the function.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: f.nextBlock, Freq: 1}
+	f.nextBlock++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Connect adds a CFG edge from a to b.
+func Connect(a, b *Block) {
+	a.Succs = append(a.Succs, b)
+	b.Preds = append(b.Preds, a)
+}
+
+// RecomputePreds rebuilds all Preds lists from Succs.
+func (f *Func) RecomputePreds() {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and rebuilds
+// predecessor lists.
+func (f *Func) RemoveUnreachable() {
+	reach := map[*Block]bool{}
+	var stack []*Block
+	stack = append(stack, f.Entry)
+	reach[f.Entry] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	f.RecomputePreds()
+}
+
+// InstrCount returns the number of non-nop instructions in the function;
+// this is the "size" used by the inlining and unrolling heuristics
+// (mirroring gcc's insn counts over its IR).
+func (f *Func) InstrCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op != OpNop {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DefCounts returns, for every virtual register, how many instructions
+// define it (parameters count as one definition).
+func (f *Func) DefCounts() []int {
+	counts := make([]int, f.NumValues())
+	for _, p := range f.Params {
+		counts[p]++
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != NoValue {
+				counts[d]++
+			}
+		}
+	}
+	return counts
+}
+
+// String renders the function as readable IR text.
+func (f *Func) String() string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("v%d", p)
+	}
+	fmt.Fprintf(&sb, "func %s(%s):\n", f.Name, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.ID)
+		if len(b.Succs) > 0 {
+			ids := make([]string, len(b.Succs))
+			for i, s := range b.Succs {
+				ids[i] = fmt.Sprintf("b%d", s.ID)
+			}
+			fmt.Fprintf(&sb, "  ; succs=%s", strings.Join(ids, ","))
+		}
+		sb.WriteByte('\n')
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", b.Instrs[i].String())
+		}
+	}
+	return sb.String()
+}
+
+// Program is a compilation unit: a set of functions plus global data layout.
+type Program struct {
+	Funcs   []*Func
+	Globals []Global
+}
+
+// Global describes one global symbol's storage.
+type Global struct {
+	Name  string
+	Words int64 // number of 8-byte words (1 for scalars)
+	Init  int64 // initial value for scalars
+}
+
+// Func returns the function named name, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalOffset returns the word offset of each global in declaration order
+// as a map from name to byte offset, plus the total size in bytes.
+func (p *Program) GlobalOffsets() (map[string]int64, int64) {
+	offs := make(map[string]int64, len(p.Globals))
+	var cur int64
+	for _, g := range p.Globals {
+		offs[g.Name] = cur
+		cur += g.Words * 8
+	}
+	return offs, cur
+}
+
+// InstrCount returns the total instruction count over all functions.
+func (p *Program) InstrCount() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += f.InstrCount()
+	}
+	return n
+}

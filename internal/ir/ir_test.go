@@ -1,0 +1,439 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildDiamond returns a function with the CFG:
+//
+//	entry -> then -> join
+//	entry -> else -> join
+func buildDiamond(t *testing.T) (*Func, *Block, *Block, *Block, *Block) {
+	t.Helper()
+	f := NewFunc("diamond", 1)
+	entry := f.Entry
+	thenB := f.NewBlock()
+	elseB := f.NewBlock()
+	join := f.NewBlock()
+
+	cond := f.NewValue()
+	entry.Instrs = append(entry.Instrs,
+		Instr{Op: OpConst, Dst: cond, Imm: 1},
+		Instr{Op: OpBr, X: cond},
+	)
+	Connect(entry, thenB)
+	Connect(entry, elseB)
+
+	v := f.NewValue()
+	thenB.Instrs = append(thenB.Instrs,
+		Instr{Op: OpConst, Dst: v, Imm: 2},
+		Instr{Op: OpJmp},
+	)
+	Connect(thenB, join)
+
+	elseB.Instrs = append(elseB.Instrs,
+		Instr{Op: OpConst, Dst: v, Imm: 3},
+		Instr{Op: OpJmp},
+	)
+	Connect(elseB, join)
+
+	join.Instrs = append(join.Instrs, Instr{Op: OpRet, X: v})
+	if err := Verify(f); err != nil {
+		t.Fatalf("diamond should verify: %v", err)
+	}
+	return f, entry, thenB, elseB, join
+}
+
+// buildLoop returns: entry -> header; header -> body|exit; body -> header.
+func buildLoop(t *testing.T) (*Func, *Block, *Block, *Block) {
+	t.Helper()
+	f := NewFunc("loop", 0)
+	entry := f.Entry
+	header := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+
+	i := f.NewValue()
+	n := f.NewValue()
+	cond := f.NewValue()
+	entry.Instrs = append(entry.Instrs,
+		Instr{Op: OpConst, Dst: i, Imm: 0},
+		Instr{Op: OpConst, Dst: n, Imm: 10},
+		Instr{Op: OpJmp},
+	)
+	Connect(entry, header)
+
+	header.Instrs = append(header.Instrs,
+		Instr{Op: OpLt, Dst: cond, X: i, Y: n},
+		Instr{Op: OpBr, X: cond},
+	)
+	Connect(header, body)
+	Connect(header, exit)
+
+	one := f.NewValue()
+	body.Instrs = append(body.Instrs,
+		Instr{Op: OpConst, Dst: one, Imm: 1},
+		Instr{Op: OpAdd, Dst: i, X: i, Y: one},
+		Instr{Op: OpJmp},
+	)
+	Connect(body, header)
+
+	exit.Instrs = append(exit.Instrs, Instr{Op: OpRet, X: i})
+	if err := Verify(f); err != nil {
+		t.Fatalf("loop should verify: %v", err)
+	}
+	return f, header, body, exit
+}
+
+func TestInstrUsesAndDef(t *testing.T) {
+	add := Instr{Op: OpAdd, Dst: 2, X: 0, Y: 1}
+	uses := add.Uses(nil)
+	if len(uses) != 2 || uses[0] != 0 || uses[1] != 1 {
+		t.Errorf("add uses = %v", uses)
+	}
+	if add.Def() != 2 {
+		t.Error("add def")
+	}
+	st := Instr{Op: OpStore, X: 3, Y: 4}
+	if st.Def() != NoValue {
+		t.Error("store should not define")
+	}
+	if u := st.Uses(nil); len(u) != 2 {
+		t.Errorf("store uses = %v", u)
+	}
+	ret := Instr{Op: OpRet, X: NoValue}
+	if len(ret.Uses(nil)) != 0 {
+		t.Error("void ret uses nothing")
+	}
+	call := Instr{Op: OpCall, Dst: 9, Sym: "f", Args: []Value{1, 2, 3}}
+	if len(call.Uses(nil)) != 3 || call.Def() != 9 {
+		t.Error("call uses/def")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpAdd.IsPure() || OpLoad.IsPure() || OpCall.IsPure() || OpStore.IsPure() {
+		t.Error("IsPure")
+	}
+	if !OpBr.IsTerminator() || !OpRet.IsTerminator() || OpAdd.IsTerminator() {
+		t.Error("IsTerminator")
+	}
+	if !OpAdd.IsCommutative() || OpSub.IsCommutative() || !OpMul.IsCommutative() {
+		t.Error("IsCommutative")
+	}
+	if !OpCall.HasDst() || OpStore.HasDst() || OpPrefetch.HasDst() {
+		t.Error("HasDst")
+	}
+	for op := Op(0); op < numOps; op++ {
+		if strings.HasPrefix(op.String(), "irop(") {
+			t.Errorf("op %d unnamed", op)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConst, Dst: 1, Imm: 5}, "v1 = const 5"},
+		{Instr{Op: OpAdd, Dst: 3, X: 1, Y: 2}, "v3 = add v1, v2"},
+		{Instr{Op: OpLoad, Dst: 4, X: 3}, "v4 = load [v3]"},
+		{Instr{Op: OpStore, X: 3, Y: 4}, "store [v3] = v4"},
+		{Instr{Op: OpCall, Dst: 5, Sym: "g", Args: []Value{1}}, "v5 = call g(v1)"},
+		{Instr{Op: OpRet, X: NoValue}, "ret"},
+		{Instr{Op: OpAddr, Dst: 2, Sym: "arr"}, "v2 = addr arr"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestVerifyCatchesBadIR(t *testing.T) {
+	// Missing terminator.
+	f := NewFunc("bad", 0)
+	v := f.NewValue()
+	f.Entry.Instrs = []Instr{{Op: OpConst, Dst: v, Imm: 1}}
+	if Verify(f) == nil {
+		t.Error("expected missing-terminator error")
+	}
+	// Br with wrong successor count.
+	f2 := NewFunc("bad2", 0)
+	v2 := f2.NewValue()
+	f2.Entry.Instrs = []Instr{{Op: OpConst, Dst: v2, Imm: 1}, {Op: OpBr, X: v2}}
+	if Verify(f2) == nil {
+		t.Error("expected successor-count error")
+	}
+	// Operand out of range.
+	f3 := NewFunc("bad3", 0)
+	f3.Entry.Instrs = []Instr{{Op: OpRet, X: 99}}
+	if Verify(f3) == nil {
+		t.Error("expected bad-operand error")
+	}
+	// Terminator mid-block.
+	f4 := NewFunc("bad4", 0)
+	v4 := f4.NewValue()
+	f4.Entry.Instrs = []Instr{{Op: OpRet, X: NoValue}, {Op: OpConst, Dst: v4, Imm: 1}}
+	if Verify(f4) == nil {
+		t.Error("expected mid-block-terminator error")
+	}
+	// Inconsistent preds.
+	f5, _, _, _, join := buildDiamond(&testing.T{})
+	join.Preds = join.Preds[:1]
+	if Verify(f5) == nil {
+		t.Error("expected preds-inconsistency error")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f, entry, thenB, elseB, join := buildDiamond(t)
+	dom := ComputeDominators(f)
+	if dom.IDom(entry) != nil {
+		t.Error("entry idom should be nil")
+	}
+	if dom.IDom(thenB) != entry || dom.IDom(elseB) != entry {
+		t.Error("branch idoms should be entry")
+	}
+	if dom.IDom(join) != entry {
+		t.Error("join idom should be entry (not then/else)")
+	}
+	if !dom.Dominates(entry, join) || dom.Dominates(thenB, join) {
+		t.Error("Dominates wrong")
+	}
+	if !dom.Dominates(join, join) {
+		t.Error("blocks dominate themselves")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	f, header, body, exit := buildLoop(t)
+	dom := ComputeDominators(f)
+	if dom.IDom(header) != f.Entry {
+		t.Error("header idom")
+	}
+	if dom.IDom(body) != header || dom.IDom(exit) != header {
+		t.Error("body/exit idom should be header")
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	f, header, body, exit := buildLoop(t)
+	dom := ComputeDominators(f)
+	loops := FindLoops(f, dom)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != header || !l.Contains(body) || l.Contains(exit) || l.Contains(f.Entry) {
+		t.Error("loop membership wrong")
+	}
+	if l.Latch != body {
+		t.Error("latch should be body")
+	}
+	if l.Depth != 1 {
+		t.Error("depth should be 1")
+	}
+	exits := l.Exits()
+	if len(exits) != 1 || exits[0] != exit {
+		t.Errorf("exits = %v", exits)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// entry -> h1; h1 -> h2|exit; h2 -> b2|l1latch; b2 -> h2; l1latch -> h1
+	f := NewFunc("nest", 0)
+	h1 := f.NewBlock()
+	h2 := f.NewBlock()
+	b2 := f.NewBlock()
+	latch1 := f.NewBlock()
+	exit := f.NewBlock()
+	c := f.NewValue()
+	f.Entry.Instrs = []Instr{{Op: OpConst, Dst: c, Imm: 1}, {Op: OpJmp}}
+	Connect(f.Entry, h1)
+	h1.Instrs = []Instr{{Op: OpBr, X: c}}
+	Connect(h1, h2)
+	Connect(h1, exit)
+	h2.Instrs = []Instr{{Op: OpBr, X: c}}
+	Connect(h2, b2)
+	Connect(h2, latch1)
+	b2.Instrs = []Instr{{Op: OpJmp}}
+	Connect(b2, h2)
+	latch1.Instrs = []Instr{{Op: OpJmp}}
+	Connect(latch1, h1)
+	exit.Instrs = []Instr{{Op: OpRet, X: NoValue}}
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+
+	dom := ComputeDominators(f)
+	loops := FindLoops(f, dom)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	// Innermost first.
+	if loops[0].Header != h2 || loops[0].Depth != 2 {
+		t.Errorf("inner loop wrong: header=b%d depth=%d", loops[0].Header.ID, loops[0].Depth)
+	}
+	if loops[1].Header != h1 || loops[1].Depth != 1 {
+		t.Error("outer loop wrong")
+	}
+	if loops[0].Parent != loops[1] {
+		t.Error("nesting parent wrong")
+	}
+
+	EstimateFrequencies(f, loops)
+	if !(b2.Freq > h1.Freq && h1.Freq > exit.Freq) {
+		t.Errorf("frequency ordering wrong: b2=%v h1=%v exit=%v", b2.Freq, h1.Freq, exit.Freq)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	f, header, body, exit := buildLoop(t)
+	lv := ComputeLiveness(f)
+	// i (value 0) is live into the header (used by the compare and the add).
+	var iVal Value = 0
+	if !lv.In[header].Has(iVal) {
+		t.Error("i should be live into header")
+	}
+	if !lv.In[body].Has(iVal) {
+		t.Error("i should be live into body")
+	}
+	if !lv.In[exit].Has(iVal) {
+		t.Error("i is returned, live into exit")
+	}
+	// n (value 1) is live into header but dead in exit.
+	var nVal Value = 1
+	if !lv.In[header].Has(nVal) {
+		t.Error("n live into header")
+	}
+	if lv.In[exit].Has(nVal) {
+		t.Error("n should be dead in exit")
+	}
+
+	across := lv.LiveAcross(body)
+	if len(across) != len(body.Instrs) {
+		t.Fatal("LiveAcross length")
+	}
+	// After the add, i is live (flows back to header).
+	if !across[1].Has(iVal) {
+		t.Error("i live after add")
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	s := NewBitSet(130)
+	if !s.Add(0) || !s.Add(64) || !s.Add(129) {
+		t.Error("Add new should return true")
+	}
+	if s.Add(64) {
+		t.Error("Add existing should return false")
+	}
+	if !s.Has(129) || s.Has(1) {
+		t.Error("Has")
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Error("Remove")
+	}
+	other := NewBitSet(130)
+	other.Add(5)
+	if !s.UnionWith(other) || !s.Has(5) {
+		t.Error("UnionWith")
+	}
+	if s.UnionWith(other) {
+		t.Error("UnionWith no-change should return false")
+	}
+	c := s.Clone()
+	c.Add(7)
+	if s.Has(7) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestPropertyBitSetAddHas(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := NewBitSet(1 << 16)
+		seen := map[uint16]bool{}
+		for _, x := range xs {
+			s.Add(Value(x))
+			seen[x] = true
+		}
+		for _, x := range xs {
+			if !s.Has(Value(x)) {
+				return false
+			}
+		}
+		count := 0
+		for range seen {
+			count++
+		}
+		return s.Count() == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	f, _, _, _, _ := buildDiamond(t)
+	orphan := f.NewBlock()
+	orphan.Instrs = []Instr{{Op: OpRet, X: NoValue}}
+	if len(f.Blocks) != 5 {
+		t.Fatal("setup")
+	}
+	f.RemoveUnreachable()
+	if len(f.Blocks) != 4 {
+		t.Errorf("blocks = %d, want 4", len(f.Blocks))
+	}
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefCountsAndInstrCount(t *testing.T) {
+	f, _, _, _ := buildLoop(t)
+	counts := f.DefCounts()
+	if counts[0] != 2 { // i defined in entry and body
+		t.Errorf("i def count = %d, want 2", counts[0])
+	}
+	if counts[1] != 1 { // n defined once
+		t.Errorf("n def count = %d, want 1", counts[1])
+	}
+	if f.InstrCount() != 9 {
+		t.Errorf("InstrCount = %d, want 9", f.InstrCount())
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := &Program{
+		Globals: []Global{{Name: "a", Words: 4}, {Name: "b", Words: 1}},
+	}
+	offs, total := p.GlobalOffsets()
+	if offs["a"] != 0 || offs["b"] != 32 || total != 40 {
+		t.Errorf("offsets = %v total = %d", offs, total)
+	}
+	if err := VerifyProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	p.Globals = append(p.Globals, Global{Name: "a"})
+	if VerifyProgram(p) == nil {
+		t.Error("expected duplicate global error")
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	f, _, _, _ := buildLoop(t)
+	s := f.String()
+	for _, want := range []string{"func loop()", "b0:", "jmp", "ret v0", "lt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}

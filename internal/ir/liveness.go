@@ -1,0 +1,145 @@
+package ir
+
+// Liveness holds per-block live-in/live-out sets as bitsets over virtual
+// registers.
+type Liveness struct {
+	In  map[*Block]*BitSet
+	Out map[*Block]*BitSet
+}
+
+// BitSet is a fixed-capacity bitset over Value ids.
+type BitSet struct {
+	words []uint64
+}
+
+// NewBitSet returns a bitset with capacity for n values.
+func NewBitSet(n int) *BitSet {
+	return &BitSet{words: make([]uint64, (n+63)/64)}
+}
+
+// Has reports whether v is in the set.
+func (s *BitSet) Has(v Value) bool {
+	i := int(v)
+	return s.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Add inserts v and reports whether the set changed.
+func (s *BitSet) Add(v Value) bool {
+	i := int(v)
+	w := &s.words[i/64]
+	bit := uint64(1) << (uint(i) % 64)
+	if *w&bit != 0 {
+		return false
+	}
+	*w |= bit
+	return true
+}
+
+// Remove deletes v from the set.
+func (s *BitSet) Remove(v Value) {
+	i := int(v)
+	s.words[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// UnionWith adds all of t's members and reports whether s changed.
+func (s *BitSet) UnionWith(t *BitSet) bool {
+	changed := false
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Clone returns a copy of the set.
+func (s *BitSet) Clone() *BitSet {
+	c := &BitSet{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Count returns the number of members.
+func (s *BitSet) Count() int {
+	n := 0
+	for _, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ComputeLiveness performs backward dataflow liveness analysis over f.
+func ComputeLiveness(f *Func) *Liveness {
+	n := f.NumValues()
+	lv := &Liveness{In: map[*Block]*BitSet{}, Out: map[*Block]*BitSet{}}
+	use := map[*Block]*BitSet{}
+	def := map[*Block]*BitSet{}
+	var buf []Value
+	for _, b := range f.Blocks {
+		u, d := NewBitSet(n), NewBitSet(n)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			buf = in.Uses(buf[:0])
+			for _, v := range buf {
+				if !d.Has(v) {
+					u.Add(v)
+				}
+			}
+			if dv := in.Def(); dv != NoValue {
+				d.Add(dv)
+			}
+		}
+		use[b], def[b] = u, d
+		lv.In[b] = NewBitSet(n)
+		lv.Out[b] = NewBitSet(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Iterate blocks in reverse order for faster convergence.
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := lv.Out[b]
+			for _, s := range b.Succs {
+				if out.UnionWith(lv.In[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			newIn := out.Clone()
+			for w := range newIn.words {
+				newIn.words[w] &^= def[b].words[w]
+				newIn.words[w] |= use[b].words[w]
+			}
+			if lv.In[b].UnionWith(newIn) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAcross returns, for each instruction index in block b, the set of
+// values live immediately after that instruction. Used by the register
+// allocator and the unrolling pressure heuristic.
+func (lv *Liveness) LiveAcross(b *Block) []*BitSet {
+	res := make([]*BitSet, len(b.Instrs))
+	cur := lv.Out[b].Clone()
+	var buf []Value
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		res[i] = cur.Clone()
+		in := &b.Instrs[i]
+		if d := in.Def(); d != NoValue {
+			cur.Remove(d)
+		}
+		buf = in.Uses(buf[:0])
+		for _, v := range buf {
+			cur.Add(v)
+		}
+	}
+	return res
+}

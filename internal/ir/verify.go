@@ -1,0 +1,121 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of the function's IR:
+//   - every block ends in exactly one terminator, with no terminator mid-block
+//   - successor counts match the terminator kind (Br:2, Jmp:1, Ret:0)
+//   - Preds lists are consistent with Succs lists
+//   - all operands reference allocated virtual registers
+//   - the entry block is in the block list
+//
+// It returns the first violation found, or nil.
+func Verify(f *Func) error {
+	inList := false
+	for _, b := range f.Blocks {
+		if b == f.Entry {
+			inList = true
+		}
+	}
+	if !inList {
+		return fmt.Errorf("ir: %s: entry block not in block list", f.Name)
+	}
+	edges := map[[2]int]int{}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("ir: %s: b%d is empty", f.Name, b.ID)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				return fmt.Errorf("ir: %s: b%d instr %d (%s): terminator placement", f.Name, b.ID, i, in)
+			}
+			if err := checkOperands(f, b, in); err != nil {
+				return err
+			}
+		}
+		term := b.Term()
+		wantSuccs := 0
+		switch term.Op {
+		case OpBr:
+			wantSuccs = 2
+		case OpJmp:
+			wantSuccs = 1
+		case OpRet:
+			wantSuccs = 0
+		}
+		if len(b.Succs) != wantSuccs {
+			return fmt.Errorf("ir: %s: b%d: %s has %d successors, want %d",
+				f.Name, b.ID, term.Op, len(b.Succs), wantSuccs)
+		}
+		for _, s := range b.Succs {
+			edges[[2]int{b.ID, s.ID}]++
+		}
+	}
+	// Preds consistency.
+	predEdges := map[[2]int]int{}
+	for _, b := range f.Blocks {
+		for _, p := range b.Preds {
+			predEdges[[2]int{p.ID, b.ID}]++
+		}
+	}
+	for e, n := range edges {
+		if predEdges[e] != n {
+			return fmt.Errorf("ir: %s: edge b%d->b%d: %d succ entries but %d pred entries",
+				f.Name, e[0], e[1], n, predEdges[e])
+		}
+	}
+	for e, n := range predEdges {
+		if edges[e] != n {
+			return fmt.Errorf("ir: %s: edge b%d->b%d in preds but not succs", f.Name, e[0], e[1])
+		}
+	}
+	return nil
+}
+
+func checkOperands(f *Func, b *Block, in *Instr) error {
+	check := func(v Value, what string) error {
+		if v == NoValue && in.Op == OpRet {
+			return nil
+		}
+		if v < 0 || int(v) >= f.NumValues() {
+			return fmt.Errorf("ir: %s: b%d: %s: bad %s v%d", f.Name, b.ID, in, what, v)
+		}
+		return nil
+	}
+	var buf []Value
+	for _, u := range in.Uses(buf) {
+		if err := check(u, "use"); err != nil {
+			return err
+		}
+	}
+	if d := in.Def(); d != NoValue {
+		if err := check(d, "def"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyProgram verifies every function in the program.
+func VerifyProgram(p *Program) error {
+	names := map[string]bool{}
+	for _, g := range p.Globals {
+		if names[g.Name] {
+			return fmt.Errorf("ir: duplicate global %q", g.Name)
+		}
+		names[g.Name] = true
+	}
+	fnames := map[string]bool{}
+	for _, f := range p.Funcs {
+		if fnames[f.Name] {
+			return fmt.Errorf("ir: duplicate function %q", f.Name)
+		}
+		fnames[f.Name] = true
+		if err := Verify(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary object format for compiled programs, so the compiler and simulator
+// can run as separate processes (minicc -o prog.bin; simrun -bin prog.bin).
+//
+// Layout (little endian):
+//
+//	magic   [4]byte  "EMP1"
+//	entry   int32
+//	datasz  int64
+//	ninit   uint32   { addr uint64, val int64 } * ninit
+//	nsyms   uint32   { nameLen uint32, name []byte, index int32 } * nsyms
+//	ninstr  uint32   { op uint8, rd, rs1, rs2 uint8, imm int64, target int32 } * ninstr
+var magic = [4]byte{'E', 'M', 'P', '1'}
+
+// Encode writes the program to w in the binary object format.
+func (p *Program) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeErr := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeErr(p.Entry, p.DataSize, uint32(len(p.Init))); err != nil {
+		return err
+	}
+	for _, di := range p.Init {
+		if err := writeErr(di.Addr, di.Val); err != nil {
+			return err
+		}
+	}
+	// Deterministic symbol order.
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if err := writeErr(uint32(len(names))); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := writeErr(uint32(len(n))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(n); err != nil {
+			return err
+		}
+		if err := writeErr(p.Symbols[n]); err != nil {
+			return err
+		}
+	}
+	if err := writeErr(uint32(len(p.Instrs))); err != nil {
+		return err
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if err := writeErr(uint8(in.Op), in.Rd, in.Rs1, in.Rs2, in.Imm, in.Target); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a program in the binary object format.
+func Decode(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("isa: bad magic %q", m)
+	}
+	le := binary.LittleEndian
+	read := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Read(br, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	p := &Program{Symbols: map[string]int32{}}
+	var ninit, nsyms, ninstr uint32
+	if err := read(&p.Entry, &p.DataSize, &ninit); err != nil {
+		return nil, err
+	}
+	const limit = 1 << 26 // sanity bound on section sizes
+	if ninit > limit {
+		return nil, fmt.Errorf("isa: absurd init count %d", ninit)
+	}
+	for i := uint32(0); i < ninit; i++ {
+		var di DataInit
+		if err := read(&di.Addr, &di.Val); err != nil {
+			return nil, err
+		}
+		p.Init = append(p.Init, di)
+	}
+	if err := read(&nsyms); err != nil {
+		return nil, err
+	}
+	if nsyms > limit {
+		return nil, fmt.Errorf("isa: absurd symbol count %d", nsyms)
+	}
+	for i := uint32(0); i < nsyms; i++ {
+		var nameLen uint32
+		if err := read(&nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("isa: absurd symbol length %d", nameLen)
+		}
+		buf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		var idx int32
+		if err := read(&idx); err != nil {
+			return nil, err
+		}
+		p.Symbols[string(buf)] = idx
+	}
+	if err := read(&ninstr); err != nil {
+		return nil, err
+	}
+	if ninstr > limit {
+		return nil, fmt.Errorf("isa: absurd instruction count %d", ninstr)
+	}
+	p.Instrs = make([]Instr, ninstr)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		var op uint8
+		if err := read(&op, &in.Rd, &in.Rs1, &in.Rs2, &in.Imm, &in.Target); err != nil {
+			return nil, err
+		}
+		if Op(op) >= numOps {
+			return nil, fmt.Errorf("isa: instruction %d has invalid opcode %d", i, op)
+		}
+		in.Op = Op(op)
+	}
+	return p, nil
+}

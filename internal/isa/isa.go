@@ -1,0 +1,258 @@
+// Package isa defines the synthetic RISC instruction set targeted by the
+// MiniC compiler and executed by the timing simulator. It is modeled loosely
+// on the Alpha ISA that the paper's SimpleScalar backend used: a load/store
+// architecture with 32 integer registers, fixed-size instruction slots
+// (see InstrBytes), and a small set of functional-unit classes with
+// distinct latencies.
+package isa
+
+import "fmt"
+
+// Op enumerates the machine opcodes.
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// Integer ALU (1 cycle).
+	OpAdd  // rd = rs1 + rs2
+	OpSub  // rd = rs1 - rs2
+	OpAnd  // rd = rs1 & rs2
+	OpOr   // rd = rs1 | rs2
+	OpXor  // rd = rs1 ^ rs2
+	OpShl  // rd = rs1 << (rs2 & 63)
+	OpShr  // rd = rs1 >> (rs2 & 63), arithmetic
+	OpSlt  // rd = rs1 < rs2 ? 1 : 0
+	OpSle  // rd = rs1 <= rs2 ? 1 : 0
+	OpSeq  // rd = rs1 == rs2 ? 1 : 0
+	OpSne  // rd = rs1 != rs2 ? 1 : 0
+	OpAddi // rd = rs1 + imm
+	OpLui  // rd = imm (load immediate)
+
+	// Integer multiply/divide (long latency).
+	OpMul // rd = rs1 * rs2
+	OpDiv // rd = rs1 / rs2 (0 if rs2 == 0)
+	OpRem // rd = rs1 % rs2 (0 if rs2 == 0)
+
+	// Memory.
+	OpLoad     // rd = mem[rs1 + imm]
+	OpStore    // mem[rs1 + imm] = rs2
+	OpPrefetch // non-binding prefetch of mem[rs1 + imm]
+
+	// Control.
+	OpBeq  // if rs1 == rs2 goto target
+	OpBne  // if rs1 != rs2 goto target
+	OpBlt  // if rs1 < rs2 goto target
+	OpBge  // if rs1 >= rs2 goto target
+	OpJump // goto target
+	OpCall // call target (pushes return address on register RA)
+	OpRet  // return to RA
+	OpHalt // stop the machine
+
+	numOps
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpSlt: "slt", OpSle: "sle",
+	OpSeq: "seq", OpSne: "sne", OpAddi: "addi", OpLui: "lui", OpMul: "mul",
+	OpDiv: "div", OpRem: "rem", OpLoad: "ld", OpStore: "st",
+	OpPrefetch: "pref", OpBeq: "beq", OpBne: "bne", OpBlt: "blt",
+	OpBge: "bge", OpJump: "j", OpCall: "call", OpRet: "ret", OpHalt: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// FUClass classifies instructions by the functional unit they occupy.
+type FUClass uint8
+
+const (
+	FUNone   FUClass = iota // nop, halt
+	FUIntALU                // single-cycle integer ops
+	FUIntMul                // multiply / divide / remainder
+	FUMem                   // loads, stores, prefetches
+	FUBranch                // branches, jumps, calls, returns
+	NumFUClasses
+)
+
+func (c FUClass) String() string {
+	switch c {
+	case FUNone:
+		return "none"
+	case FUIntALU:
+		return "ialu"
+	case FUIntMul:
+		return "imul"
+	case FUMem:
+		return "mem"
+	case FUBranch:
+		return "branch"
+	}
+	return "fu?"
+}
+
+// Class returns the functional-unit class of the opcode.
+func (o Op) Class() FUClass {
+	switch o {
+	case OpNop, OpHalt:
+		return FUNone
+	case OpMul, OpDiv, OpRem:
+		return FUIntMul
+	case OpLoad, OpStore, OpPrefetch:
+		return FUMem
+	case OpBeq, OpBne, OpBlt, OpBge, OpJump, OpCall, OpRet:
+		return FUBranch
+	default:
+		return FUIntALU
+	}
+}
+
+// Latency returns the execution latency in cycles, excluding memory-hierarchy
+// time for loads/stores (added by the cache model).
+func (o Op) Latency() int {
+	switch o {
+	case OpMul:
+		return 4
+	case OpDiv, OpRem:
+		return 12
+	case OpLoad, OpStore, OpPrefetch:
+		return 1 // address generation; hierarchy latency added separately
+	default:
+		return 1
+	}
+}
+
+// IsBranch reports whether the opcode is a conditional branch.
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether the opcode redirects the PC.
+func (o Op) IsControl() bool {
+	return o.Class() == FUBranch
+}
+
+// IsMem reports whether the opcode accesses the data memory hierarchy.
+func (o Op) IsMem() bool {
+	return o == OpLoad || o == OpStore || o == OpPrefetch
+}
+
+// WritesReg reports whether the opcode writes its Rd register.
+func (o Op) WritesReg() bool {
+	switch o {
+	case OpNop, OpStore, OpPrefetch, OpBeq, OpBne, OpBlt, OpBge,
+		OpJump, OpRet, OpHalt:
+		return false
+	case OpCall:
+		return true // writes RA
+	}
+	return true
+}
+
+// Register conventions. 32 integer registers.
+const (
+	NumRegs = 32
+
+	RegZero = 0  // hardwired zero
+	RegRA   = 1  // return address
+	RegSP   = 2  // stack pointer
+	RegFP   = 3  // frame pointer (allocatable when -fomit-frame-pointer)
+	RegRV   = 4  // return value
+	RegArg0 = 5  // first of NumArgRegs argument registers
+	RegGP   = 11 // first general allocatable register
+)
+
+// NumArgRegs is the number of argument-passing registers (r5..r10).
+const NumArgRegs = 6
+
+// InstrBytes is the size of one instruction slot in the instruction address
+// space, used by the code layout and the instruction cache model. It is
+// deliberately larger than a real RISC encoding: the benchmark kernels are
+// orders of magnitude smaller than the SPEC programs they stand in for, and
+// inflating the per-instruction footprint restores realistic instruction-
+// cache pressure at the paper's 8-128KB icache sizes (a documented
+// substitution, see DESIGN.md).
+const InstrBytes = 32
+
+// WordBytes is the size of a data word (all memory accesses are word-sized).
+const WordBytes = 8
+
+// Instr is one machine instruction. Target is an absolute instruction index
+// (not a byte address) for control transfers.
+type Instr struct {
+	Op     Op
+	Rd     uint8 // destination register
+	Rs1    uint8 // first source
+	Rs2    uint8 // second source
+	Imm    int64 // immediate / displacement
+	Target int32 // control-transfer target (instruction index)
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpHalt, OpRet:
+		return in.Op.String()
+	case OpLui:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case OpAddi:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case OpStore:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case OpPrefetch:
+		return fmt.Sprintf("%s %d(r%d)", in.Op, in.Imm, in.Rs1)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, @%d", in.Op, in.Rs1, in.Rs2, in.Target)
+	case OpJump, OpCall:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// Program is a fully laid-out executable: a flat instruction sequence plus
+// metadata produced by the compiler.
+type Program struct {
+	Instrs []Instr
+	Entry  int32 // index of the first instruction to execute
+
+	// Symbols maps function names to their entry instruction index, for
+	// diagnostics and tests.
+	Symbols map[string]int32
+
+	// DataSize is the number of bytes of statically allocated global data.
+	// Globals occupy addresses [GlobalBase, GlobalBase+DataSize).
+	DataSize int64
+
+	// Init lists nonzero initial values of global scalars; the executor
+	// applies them before starting.
+	Init []DataInit
+}
+
+// DataInit is one initialized global data word.
+type DataInit struct {
+	Addr uint64
+	Val  int64
+}
+
+// Address-space layout for the executor: globals low, stack high, both well
+// clear of address 0 so that stray nil-ish pointers fault loudly in tests.
+const (
+	GlobalBase = 0x0001_0000
+	StackBase  = 0x4000_0000 // stack grows down from here
+)
+
+// PCByte returns the byte address of instruction index i, as seen by the
+// instruction cache.
+func PCByte(i int32) uint64 { return uint64(i) * InstrBytes }

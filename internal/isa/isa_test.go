@@ -1,0 +1,117 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		OpAdd: "add", OpLoad: "ld", OpStore: "st", OpBeq: "beq",
+		OpHalt: "halt", OpPrefetch: "pref",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(op), op.String(), want)
+		}
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Error("unknown op should include its number")
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	if OpAdd.Class() != FUIntALU {
+		t.Error("add class")
+	}
+	if OpMul.Class() != FUIntMul || OpDiv.Class() != FUIntMul {
+		t.Error("mul/div class")
+	}
+	if OpLoad.Class() != FUMem || OpPrefetch.Class() != FUMem {
+		t.Error("mem class")
+	}
+	if OpBeq.Class() != FUBranch || OpRet.Class() != FUBranch {
+		t.Error("branch class")
+	}
+	if OpNop.Class() != FUNone || OpHalt.Class() != FUNone {
+		t.Error("none class")
+	}
+}
+
+func TestAllOpsHaveNamesAndClasses(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d has no name", op)
+		}
+		if op.Class() >= NumFUClasses {
+			t.Errorf("op %v has invalid class", op)
+		}
+		if op.Latency() < 1 {
+			t.Errorf("op %v has latency < 1", op)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if OpMul.Latency() <= OpAdd.Latency() {
+		t.Error("mul should be slower than add")
+	}
+	if OpDiv.Latency() <= OpMul.Latency() {
+		t.Error("div should be slower than mul")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !OpBeq.IsBranch() || OpJump.IsBranch() {
+		t.Error("IsBranch")
+	}
+	if !OpJump.IsControl() || !OpCall.IsControl() || !OpRet.IsControl() || OpAdd.IsControl() {
+		t.Error("IsControl")
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || !OpPrefetch.IsMem() || OpAdd.IsMem() {
+		t.Error("IsMem")
+	}
+	if !OpAdd.WritesReg() || OpStore.WritesReg() || OpBeq.WritesReg() || !OpCall.WritesReg() || !OpLoad.WritesReg() {
+		t.Error("WritesReg")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpAdd, Rd: 5, Rs1: 6, Rs2: 7}, "add r5, r6, r7"},
+		{Instr{Op: OpAddi, Rd: 5, Rs1: 6, Imm: -4}, "addi r5, r6, -4"},
+		{Instr{Op: OpLoad, Rd: 5, Rs1: 2, Imm: 16}, "ld r5, 16(r2)"},
+		{Instr{Op: OpStore, Rs1: 2, Rs2: 5, Imm: 8}, "st r5, 8(r2)"},
+		{Instr{Op: OpBne, Rs1: 1, Rs2: 0, Target: 12}, "bne r1, r0, @12"},
+		{Instr{Op: OpCall, Target: 3}, "call @3"},
+		{Instr{Op: OpHalt}, "halt"},
+		{Instr{Op: OpLui, Rd: 9, Imm: 100}, "lui r9, 100"},
+		{Instr{Op: OpPrefetch, Rs1: 7, Imm: 64}, "pref 64(r7)"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRegisterConventions(t *testing.T) {
+	if RegZero != 0 {
+		t.Error("r0 must be the zero register")
+	}
+	if RegGP <= RegArg0+NumArgRegs-1 {
+		t.Error("allocatable registers must not overlap argument registers")
+	}
+	if NumRegs != 32 {
+		t.Error("ISA defines 32 registers")
+	}
+}
+
+func TestPCByte(t *testing.T) {
+	if PCByte(0) != 0 || PCByte(3) != 3*InstrBytes {
+		t.Error("PCByte")
+	}
+}

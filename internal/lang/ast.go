@@ -1,0 +1,191 @@
+package lang
+
+// The MiniC abstract syntax tree. All values are 64-bit integers; arrays are
+// one-dimensional and global. Functions take int parameters and return one
+// int (a function that falls off the end returns 0).
+
+// Program is a parsed MiniC translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalDecl declares a global scalar (Size == 0) or array (Size > 0, in
+// elements). Scalars may have a constant initializer.
+type GlobalDecl struct {
+	Name string
+	Size int64 // 0 for scalar, element count for array
+	Init int64 // scalar initial value
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is the statement interface.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is `{ stmts... }`.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// VarDeclStmt is `int x = expr;` (Init may be nil: zero).
+type VarDeclStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt is `lhs = expr;` where lhs is a variable or array element.
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+	Line  int
+}
+
+// IfStmt is `if (cond) then else else_`.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // may be nil
+}
+
+// WhileStmt is `while (cond) body`.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is `for (init; cond; post) body`. Init/Post may be nil.
+type ForStmt struct {
+	Init Stmt // VarDeclStmt or AssignStmt
+	Cond Expr // nil means true
+	Post Stmt // AssignStmt
+	Body *BlockStmt
+}
+
+// ReturnStmt is `return expr;` (Value may be nil: returns 0).
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+}
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ Line int }
+
+// ExprStmt is an expression evaluated for side effects (a call).
+type ExprStmt struct {
+	X Expr
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is the expression interface.
+type Expr interface{ exprNode() }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Val int64
+}
+
+// VarExpr references a local variable, parameter, or global scalar.
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr is `name[index]` on a global array.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpLAnd // short-circuit &&
+	OpLOr  // short-circuit ||
+)
+
+var binOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpRem: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpEq: "==", OpNe: "!=",
+	OpLAnd: "&&", OpLOr: "||",
+}
+
+func (o BinOp) String() string { return binOpNames[o] }
+
+// BinExpr is `x op y`.
+type BinExpr struct {
+	Op   BinOp
+	X, Y Expr
+	Line int
+}
+
+// UnaryExpr is `-x` or `!x`.
+type UnaryExpr struct {
+	Neg bool // true: arithmetic negation; false: logical not
+	X   Expr
+}
+
+// CallExpr is `name(args...)`.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*NumExpr) exprNode()   {}
+func (*VarExpr) exprNode()   {}
+func (*IndexExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+func (*UnaryExpr) exprNode() {}
+func (*CallExpr) exprNode()  {}

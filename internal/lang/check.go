@@ -1,0 +1,240 @@
+package lang
+
+import "fmt"
+
+// Check performs semantic analysis on a parsed program: name resolution,
+// arity checking of calls, duplicate-definition detection, and
+// break/continue placement. It returns the first error found, or nil.
+func Check(prog *Program) error {
+	c := &checker{
+		globals: map[string]*GlobalDecl{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return fmt.Errorf("lang: line %d: duplicate global %q", g.Line, g.Name)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return fmt.Errorf("lang: line %d: duplicate function %q", f.Line, f.Name)
+		}
+		if _, shadows := c.globals[f.Name]; shadows {
+			return fmt.Errorf("lang: line %d: function %q collides with a global", f.Line, f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return fmt.Errorf("lang: program has no main function")
+	}
+	if len(c.funcs["main"].Params) != 0 {
+		return fmt.Errorf("lang: main must take no parameters")
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	globals map[string]*GlobalDecl
+	funcs   map[string]*FuncDecl
+
+	scopes    []map[string]bool // local variable scopes, innermost last
+	loopDepth int
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.scopes = []map[string]bool{{}}
+	c.loopDepth = 0
+	seen := map[string]bool{}
+	for _, p := range f.Params {
+		if seen[p] {
+			return fmt.Errorf("lang: line %d: duplicate parameter %q in %q", f.Line, p, f.Name)
+		}
+		seen[p] = true
+		c.scopes[0][p] = true
+	}
+	return c.checkBlock(f.Body)
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]bool{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) localDefined(name string) bool {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if c.scopes[i][name] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(s)
+	case *VarDeclStmt:
+		if s.Init != nil {
+			if err := c.checkExpr(s.Init); err != nil {
+				return err
+			}
+		}
+		top := c.scopes[len(c.scopes)-1]
+		if top[s.Name] {
+			return fmt.Errorf("lang: line %d: %q redeclared in this scope", s.Line, s.Name)
+		}
+		top[s.Name] = true
+		return nil
+	case *AssignStmt:
+		if s.Index != nil {
+			g, ok := c.globals[s.Name]
+			if !ok || g.Size == 0 {
+				return fmt.Errorf("lang: line %d: %q is not a global array", s.Line, s.Name)
+			}
+			if err := c.checkExpr(s.Index); err != nil {
+				return err
+			}
+		} else if !c.localDefined(s.Name) {
+			g, ok := c.globals[s.Name]
+			if !ok {
+				return fmt.Errorf("lang: line %d: assignment to undefined %q", s.Line, s.Name)
+			}
+			if g.Size != 0 {
+				return fmt.Errorf("lang: line %d: cannot assign to array %q without index", s.Line, s.Name)
+			}
+		}
+		return c.checkExpr(s.Value)
+	case *IfStmt:
+		if err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkBlock(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(s.Body)
+	case *ForStmt:
+		c.pushScope() // for-init scope
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkExpr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(s.Body)
+	case *ReturnStmt:
+		if s.Value != nil {
+			return c.checkExpr(s.Value)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return fmt.Errorf("lang: line %d: break outside loop", s.Line)
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return fmt.Errorf("lang: line %d: continue outside loop", s.Line)
+		}
+		return nil
+	case *ExprStmt:
+		return c.checkExpr(s.X)
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch e := e.(type) {
+	case *NumExpr:
+		return nil
+	case *VarExpr:
+		if c.localDefined(e.Name) {
+			return nil
+		}
+		if g, ok := c.globals[e.Name]; ok {
+			if g.Size != 0 {
+				return fmt.Errorf("lang: line %d: array %q used without index", e.Line, e.Name)
+			}
+			return nil
+		}
+		return fmt.Errorf("lang: line %d: undefined variable %q", e.Line, e.Name)
+	case *IndexExpr:
+		g, ok := c.globals[e.Name]
+		if !ok || g.Size == 0 {
+			return fmt.Errorf("lang: line %d: %q is not a global array", e.Line, e.Name)
+		}
+		return c.checkExpr(e.Index)
+	case *BinExpr:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		return c.checkExpr(e.Y)
+	case *UnaryExpr:
+		return c.checkExpr(e.X)
+	case *CallExpr:
+		f, ok := c.funcs[e.Name]
+		if !ok {
+			return fmt.Errorf("lang: line %d: call to undefined function %q", e.Line, e.Name)
+		}
+		if len(e.Args) != len(f.Params) {
+			return fmt.Errorf("lang: line %d: %q expects %d args, got %d",
+				e.Line, e.Name, len(f.Params), len(e.Args))
+		}
+		for _, a := range e.Args {
+			if err := c.checkExpr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("lang: unknown expression %T", e)
+}
+
+// MustParse parses and checks src, panicking on error. Intended for
+// compiled-in workload sources and tests.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	if err := Check(prog); err != nil {
+		panic(err)
+	}
+	return prog
+}

@@ -1,0 +1,58 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzParse checks the frontend never panics and that anything that parses
+// and checks also formats to re-parseable source. Run with `go test -fuzz
+// FuzzParse ./internal/lang` for continuous fuzzing; the seeds below run as
+// normal tests.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main() { return 0; }",
+		"int a[4]; int main() { a[0] = 1; return a[0]; }",
+		"int f(int x) { return x; } int main() { return f(1); }",
+		"int main() { for (;;) { break; } return 0; }",
+		"int main() { while (1 < 2) { return 3; } return 4; }",
+		"int main() { int x = ((1)); return -x; }",
+		"int main() { return 1 && 0 || !2; }",
+		"int x = -5; int main() { return x % 3; }",
+		// Malformed inputs.
+		"int",
+		"int main( {",
+		"int main() { return",
+		"}{",
+		"int main() { int int = 3; }",
+		"int a[]; int main() { return 0; }",
+		"/* unterminated",
+		"int main() { return 0x; }",
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// A few generated programs as rich seeds.
+	for seed := int64(0); seed < 3; seed++ {
+		f.Add(GenProgram(rand.New(rand.NewSource(seed))))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if err := Check(prog); err != nil {
+			return
+		}
+		formatted := Format(prog)
+		prog2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("formatted output unparseable: %v\n%s", err, formatted)
+		}
+		if err := Check(prog2); err != nil {
+			t.Fatalf("formatted output fails check: %v\n%s", err, formatted)
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("int x = 42; // comment\nx = x + 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokInt, TokIdent, TokAssign, TokNumber, TokSemi,
+		TokIdent, TokAssign, TokIdent, TokPlus, TokNumber, TokSemi, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[3].Val != 42 {
+		t.Errorf("number value = %d, want 42", toks[3].Val)
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("<= >= == != << >> && || & | ^ ! < >")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokLe, TokGe, TokEq, TokNe, TokShl, TokShr, TokAndAnd,
+		TokOrOr, TokAmp, TokPipe, TokCaret, TokNot, TokLt, TokGt, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeBlockComment(t *testing.T) {
+	toks, err := Tokenize("/* multi\nline */ int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokInt {
+		t.Fatal("block comment not skipped")
+	}
+	if _, err := Tokenize("/* unterminated"); err == nil {
+		t.Fatal("expected unterminated comment error")
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	if _, err := Tokenize("int @"); err == nil {
+		t.Fatal("expected bad character error")
+	}
+	if _, err := Tokenize("99999999999999999999"); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	toks, err := Tokenize("int\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("position = %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+const validProgram = `
+int N = 10;
+int buf[64];
+
+int add(int a, int b) {
+	return a + b;
+}
+
+int main() {
+	int sum = 0;
+	for (int i = 0; i < N; i = i + 1) {
+		buf[i] = add(i, i * 2);
+		sum = sum + buf[i];
+	}
+	int j = 0;
+	while (j < 5) {
+		if (buf[j] > 10 && sum != 0) {
+			sum = sum - 1;
+		} else if (buf[j] < 2) {
+			sum = sum + 1;
+		} else {
+			j = j + 1;
+			continue;
+		}
+		j = j + 1;
+	}
+	return sum;
+}
+`
+
+func TestParseValidProgram(t *testing.T) {
+	prog, err := Parse(validProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 2 {
+		t.Errorf("globals = %d, want 2", len(prog.Globals))
+	}
+	if len(prog.Funcs) != 2 {
+		t.Errorf("funcs = %d, want 2", len(prog.Funcs))
+	}
+	if prog.Globals[0].Init != 10 || prog.Globals[0].Size != 0 {
+		t.Error("scalar global parsed wrong")
+	}
+	if prog.Globals[1].Size != 64 {
+		t.Error("array global parsed wrong")
+	}
+	if prog.Func("add") == nil || prog.Func("nosuch") != nil {
+		t.Error("Func lookup")
+	}
+	if err := Check(prog); err != nil {
+		t.Fatalf("Check failed: %v", err)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := MustParse("int main() { return 2 + 3 * 4; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	bin := ret.Value.(*BinExpr)
+	if bin.Op != OpAdd {
+		t.Fatalf("top op = %v, want +", bin.Op)
+	}
+	if inner, ok := bin.Y.(*BinExpr); !ok || inner.Op != OpMul {
+		t.Fatal("3*4 should bind tighter")
+	}
+}
+
+func TestParseUnaryAndParens(t *testing.T) {
+	prog := MustParse("int main() { return -(1 + 2) * !0; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	bin := ret.Value.(*BinExpr)
+	if bin.Op != OpMul {
+		t.Fatalf("top = %v, want *", bin.Op)
+	}
+	if u, ok := bin.X.(*UnaryExpr); !ok || !u.Neg {
+		t.Fatal("left should be negation")
+	}
+	if u, ok := bin.Y.(*UnaryExpr); !ok || u.Neg {
+		t.Fatal("right should be logical not")
+	}
+}
+
+func TestParseNegativeGlobalInit(t *testing.T) {
+	prog := MustParse("int g = -7; int main() { return g; }")
+	if prog.Globals[0].Init != -7 {
+		t.Fatal("negative init")
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	MustParse("int main() { for (;;) { break; } return 0; }")
+	MustParse("int main() { int i = 0; for (; i < 3;) { i = i + 1; } return i; }")
+	MustParse("int a[4]; int main() { for (int i = 0; i < 4; i = i + 1) { a[i] = i; } return 0; }")
+}
+
+func TestParseIndexExprNonAssign(t *testing.T) {
+	// An index expression used as a value in an expression statement
+	// context (via call argument here).
+	MustParse("int a[4]; int f(int x) { return x; } int main() { f(a[2]); return a[1] + a[0]; }")
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int main() { return 1 }",     // missing semi
+		"int main() {",                // unterminated block
+		"int a[0]; int main(){}",      // zero-size array
+		"main() { }",                  // missing type
+		"int main() { if x { } }",     // missing parens
+		"int main() { return (1; }",   // unbalanced paren
+		"int main() { int 3 = 4; }",   // bad decl
+		"int main() { x = ; }",        // missing rhs
+		"int x; int x; int main(){ }", // dup handled by Check, parse ok
+	}
+	for i, src := range bad[:8] {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d (%q): expected parse error", i, src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"int x; int x; int main() { return 0; }", "duplicate global"},
+		{"int f() { return 0; } int f() { return 1; } int main() { return 0; }", "duplicate function"},
+		{"int g; int g() { return 0; } int main() { return 0; }", "collides"},
+		{"int f() { return 0; }", "no main"},
+		{"int main(int a) { return a; }", "main must take no parameters"},
+		{"int f(int a, int a) { return a; } int main() { return 0; }", "duplicate parameter"},
+		{"int main() { return y; }", "undefined variable"},
+		{"int main() { y = 1; return 0; }", "assignment to undefined"},
+		{"int main() { return f(); }", "undefined function"},
+		{"int f(int a) { return a; } int main() { return f(); }", "expects 1 args"},
+		{"int main() { break; }", "break outside loop"},
+		{"int main() { continue; }", "continue outside loop"},
+		{"int a[4]; int main() { return a; }", "used without index"},
+		{"int x; int main() { return x[0]; }", "not a global array"},
+		{"int a[4]; int main() { a = 3; return 0; }", "cannot assign to array"},
+		{"int main() { x[0] = 1; return 0; }", "not a global array"},
+		{"int main() { int x = 1; int x = 2; return x; }", "redeclared"},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("%q: unexpected parse error %v", c.src, err)
+			continue
+		}
+		err = Check(prog)
+		if err == nil {
+			t.Errorf("%q: expected check error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestCheckScoping(t *testing.T) {
+	// Shadowing in an inner scope is allowed; redeclaring in the same
+	// scope is not (covered above).
+	MustParse("int main() { int x = 1; { int x = 2; x = x + 1; } return x; }")
+	// for-init variable is scoped to the loop.
+	src := "int main() { for (int i = 0; i < 3; i = i + 1) { } return i; }"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(prog); err == nil {
+		t.Fatal("for-init variable should not escape the loop")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on invalid input")
+		}
+	}()
+	MustParse("not a program")
+}
+
+func TestBinOpString(t *testing.T) {
+	if OpLAnd.String() != "&&" || OpShl.String() != "<<" {
+		t.Fatal("BinOp.String")
+	}
+}

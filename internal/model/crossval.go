@@ -1,0 +1,94 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CrossValidate estimates a fitting procedure's prediction error by k-fold
+// cross-validation over a dataset: the mean absolute percentage error over
+// held-out folds. It is the assessment tool to reach for when simulations
+// are too expensive for an independent test design — the alternative the
+// paper's GCV/BIC criteria approximate analytically.
+func CrossValidate(data *Dataset, k int, seed int64,
+	fit func(*Dataset) (Model, error)) (float64, error) {
+	n := data.Len()
+	if k < 2 || k > n {
+		return 0, fmt.Errorf("model: k=%d folds invalid for %d samples", k, n)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+
+	totalErr, counted := 0.0, 0
+	for fold := 0; fold < k; fold++ {
+		var trainX, testX [][]float64
+		var trainY, testY []float64
+		for i, idx := range perm {
+			if i%k == fold {
+				testX = append(testX, data.X[idx])
+				testY = append(testY, data.Y[idx])
+			} else {
+				trainX = append(trainX, data.X[idx])
+				trainY = append(trainY, data.Y[idx])
+			}
+		}
+		trainDS, err := NewDataset(trainX, trainY)
+		if err != nil {
+			return 0, err
+		}
+		m, err := fit(trainDS)
+		if err != nil {
+			// A fold can be degenerate (e.g. all-identical responses);
+			// skip rather than fail the whole estimate.
+			continue
+		}
+		for i, x := range testX {
+			if testY[i] == 0 {
+				continue
+			}
+			e := m.Predict(x) - testY[i]
+			if e < 0 {
+				e = -e
+			}
+			totalErr += 100 * e / abs(testY[i])
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0, fmt.Errorf("model: cross-validation produced no usable folds")
+	}
+	return totalErr / float64(counted), nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SelectByCV picks the fitting procedure with the lowest k-fold CV error.
+// Returns the winning name, its refit-on-everything model, and the per-name
+// CV scores.
+func SelectByCV(data *Dataset, k int, seed int64,
+	fitters map[string]func(*Dataset) (Model, error)) (string, Model, map[string]float64, error) {
+	scores := map[string]float64{}
+	bestName := ""
+	for name, fit := range fitters {
+		score, err := CrossValidate(data, k, seed, fit)
+		if err != nil {
+			continue
+		}
+		scores[name] = score
+		if bestName == "" || score < scores[bestName] {
+			bestName = name
+		}
+	}
+	if bestName == "" {
+		return "", nil, nil, fmt.Errorf("model: no fitter succeeded under cross-validation")
+	}
+	m, err := fitters[bestName](data)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return bestName, m, scores, nil
+}

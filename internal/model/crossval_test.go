@@ -1,0 +1,79 @@
+package model
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/doe"
+)
+
+func linFitter(d *Dataset) (Model, error) { return FitLinear(d, doe.ExpandLinear) }
+
+func marsFitter(d *Dataset) (Model, error) { return FitMARS(d, MARSOptions{}) }
+
+func TestCrossValidateOnLinearTruth(t *testing.T) {
+	truth := func(x []float64) float64 { return 100 + 5*x[0] - 2*x[1] }
+	data := synth(60, 3, 31, truth, 0)
+	cv, err := CrossValidate(data, 5, 1, linFitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv > 0.01 {
+		t.Fatalf("CV error %v%% on noiseless linear truth", cv)
+	}
+}
+
+func TestCrossValidateRanksModels(t *testing.T) {
+	data := synth(120, 4, 32, nonlinearTruth, 0.3)
+	cvLin, err := CrossValidate(data, 5, 1, linFitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvMars, err := CrossValidate(data, 5, 1, marsFitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvMars >= cvLin {
+		t.Fatalf("MARS CV (%v) should beat linear CV (%v) on hinge truth", cvMars, cvLin)
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	data := synth(10, 2, 33, func(x []float64) float64 { return 1 }, 0)
+	if _, err := CrossValidate(data, 1, 1, linFitter); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := CrossValidate(data, 11, 1, linFitter); err == nil {
+		t.Error("k > n should fail")
+	}
+	failing := func(*Dataset) (Model, error) { return nil, errors.New("nope") }
+	if _, err := CrossValidate(data, 2, 1, failing); err == nil {
+		t.Error("all-failing fitter should error")
+	}
+}
+
+func TestSelectByCV(t *testing.T) {
+	data := synth(120, 4, 34, nonlinearTruth, 0.3)
+	name, m, scores, err := SelectByCV(data, 5, 1, map[string]func(*Dataset) (Model, error){
+		"linear": linFitter,
+		"mars":   marsFitter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mars" {
+		t.Fatalf("selected %q (scores %v), want mars", name, scores)
+	}
+	if m == nil || len(scores) != 2 {
+		t.Fatal("missing model or scores")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	data := synth(60, 3, 35, nonlinearTruth, 0.5)
+	a, _ := CrossValidate(data, 4, 7, marsFitter)
+	b, _ := CrossValidate(data, 4, 7, marsFitter)
+	if a != b {
+		t.Fatal("same seed must give same CV estimate")
+	}
+}

@@ -1,0 +1,81 @@
+package model_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/doe"
+	"repro/internal/model"
+)
+
+// ExampleFitLinear fits the paper's Equation 2 model (intercept, main
+// effects, two-factor interactions) and reads a coefficient back.
+func ExampleFitLinear() {
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		x := []float64{2*rng.Float64() - 1, 2*rng.Float64() - 1}
+		xs = append(xs, x)
+		ys = append(ys, 10+4*x[0]-2*x[1]+3*x[0]*x[1])
+	}
+	data, _ := model.NewDataset(xs, ys)
+	m, err := model.FitLinear(data, doe.ExpandInteractions)
+	if err != nil {
+		panic(err)
+	}
+	// Coefficients: [intercept, x0, x1, x0*x1].
+	fmt.Printf("intercept=%.1f x0=%.1f x1=%.1f x0*x1=%.1f\n",
+		m.Coef[0], m.Coef[1], m.Coef[2], m.Coef[3])
+	// Output:
+	// intercept=10.0 x0=4.0 x1=-2.0 x0*x1=3.0
+}
+
+// ExampleFitMARS fits splines to a hinge-shaped response a global linear
+// model cannot express.
+func ExampleFitMARS() {
+	rng := rand.New(rand.NewSource(2))
+	truth := func(x float64) float64 {
+		if x > 0 {
+			return 100 + 50*x // kink at 0
+		}
+		return 100
+	}
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 80; i++ {
+		x := 2*rng.Float64() - 1
+		xs = append(xs, []float64{x})
+		ys = append(ys, truth(x))
+	}
+	data, _ := model.NewDataset(xs, ys)
+	m, err := model.FitMARS(data, model.MARSOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("f(-0.5)=%.0f f(0.5)=%.0f\n", m.Predict([]float64{-0.5}), m.Predict([]float64{0.5}))
+	// Output:
+	// f(-0.5)=100 f(0.5)=125
+}
+
+// ExampleCrossValidate estimates model error without a test set.
+func ExampleCrossValidate() {
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{2*rng.Float64() - 1}
+		xs = append(xs, x)
+		ys = append(ys, 50+20*x[0])
+	}
+	data, _ := model.NewDataset(xs, ys)
+	cv, err := model.CrossValidate(data, 5, 1, func(d *model.Dataset) (model.Model, error) {
+		return model.FitLinear(d, doe.ExpandLinear)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cv error below 0.1%:", cv < 0.1)
+	// Output:
+	// cv error below 0.1%: true
+}

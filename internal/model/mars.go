@@ -1,0 +1,365 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// Hinge is one spline factor: (x_v − t)₊ when Pos, (t − x_v)₊ otherwise.
+type Hinge struct {
+	Var int
+	T   float64
+	Pos bool
+}
+
+func (h Hinge) eval(x []float64) float64 {
+	d := x[h.Var] - h.T
+	if !h.Pos {
+		d = -d
+	}
+	if d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Basis is a product of hinges (empty product = the intercept).
+type Basis struct {
+	Factors []Hinge
+}
+
+func (b Basis) eval(x []float64) float64 {
+	v := 1.0
+	for _, h := range b.Factors {
+		v *= h.eval(x)
+		if v == 0 {
+			return 0
+		}
+	}
+	return v
+}
+
+// degree returns the interaction order of the basis.
+func (b Basis) degree() int { return len(b.Factors) }
+
+func (b Basis) usesVar(v int) bool {
+	for _, h := range b.Factors {
+		if h.Var == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Vars returns the sorted set of variables the basis depends on.
+func (b Basis) Vars() []int {
+	var vs []int
+	for _, h := range b.Factors {
+		vs = append(vs, h.Var)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// MARSModel is a fitted multivariate adaptive regression splines model.
+type MARSModel struct {
+	Bases    []Basis
+	Coef     []float64
+	GCVScore float64
+	TrainSSE float64
+}
+
+// MARSOptions tunes the fit.
+type MARSOptions struct {
+	MaxTerms  int // forward-pass basis budget (default 2*dim+1, capped by samples)
+	MaxDegree int // maximum interaction order (default 2, as in the paper)
+	MaxKnots  int // candidate knots per variable (default 8 quantiles)
+	Penalty   float64
+}
+
+func (o MARSOptions) withDefaults(dim, n int) MARSOptions {
+	if o.MaxTerms == 0 {
+		o.MaxTerms = 2*dim + 1
+	}
+	if o.MaxTerms > n-2 {
+		o.MaxTerms = n - 2
+	}
+	if o.MaxTerms < 3 {
+		o.MaxTerms = 3
+	}
+	if o.MaxDegree == 0 {
+		o.MaxDegree = 2
+	}
+	if o.MaxKnots == 0 {
+		o.MaxKnots = 8
+	}
+	if o.Penalty == 0 {
+		o.Penalty = 3
+	}
+	return o
+}
+
+// FitMARS runs Friedman's two-phase algorithm: a greedy forward pass adding
+// hinge-pair bases that most reduce residual error, then a backward pruning
+// pass deleting bases while the GCV criterion improves.
+func FitMARS(data *Dataset, opt MARSOptions) (*MARSModel, error) {
+	n, dim := data.Len(), data.Dim()
+	opt = opt.withDefaults(dim, n)
+
+	bases := []Basis{{}} // intercept
+	cols := [][]float64{constCol(n)}
+
+	// Orthonormal span Q and current residual for fast candidate scoring.
+	var q [][]float64
+	r := append([]float64{}, data.Y...)
+	pushColumn := func(c []float64) {
+		qc := orthogonalize(c, q)
+		nrm := linalg.Norm2(qc)
+		if nrm < 1e-10 {
+			return
+		}
+		for i := range qc {
+			qc[i] /= nrm
+		}
+		proj := linalg.Dot(qc, r)
+		for i := range r {
+			r[i] -= proj * qc[i]
+		}
+		q = append(q, qc)
+	}
+	pushColumn(cols[0])
+
+	knotsFor := knotTable(data, opt.MaxKnots)
+
+	for len(bases) < opt.MaxTerms {
+		type cand struct {
+			parent int
+			v      int
+			t      float64
+			gain   float64
+		}
+		best := cand{gain: 1e-9}
+		for pi, parent := range bases {
+			if parent.degree() >= opt.MaxDegree {
+				continue
+			}
+			pcol := cols[pi]
+			for v := 0; v < dim; v++ {
+				if parent.usesVar(v) {
+					continue
+				}
+				for _, t := range knotsFor[v] {
+					c1, c2 := hingeCols(data, pcol, v, t)
+					g := pairGain(c1, c2, q, r)
+					if g > best.gain {
+						best = cand{pi, v, t, g}
+					}
+				}
+			}
+		}
+		if best.gain <= 1e-9 {
+			break
+		}
+		parent := bases[best.parent]
+		pcol := cols[best.parent]
+		c1, c2 := hingeCols(data, pcol, best.v, best.t)
+		b1 := Basis{Factors: append(append([]Hinge{}, parent.Factors...), Hinge{best.v, best.t, true})}
+		b2 := Basis{Factors: append(append([]Hinge{}, parent.Factors...), Hinge{best.v, best.t, false})}
+		bases = append(bases, b1, b2)
+		cols = append(cols, c1, c2)
+		pushColumn(c1)
+		pushColumn(c2)
+	}
+
+	// Backward pruning by GCV.
+	fit := func(keep []int) ([]float64, float64, error) {
+		rows := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, len(keep))
+			for j, bi := range keep {
+				row[j] = cols[bi][i]
+			}
+			rows[i] = row
+		}
+		a := linalg.FromRows(rows)
+		coef, err := linalg.LeastSquares(a, data.Y)
+		if err != nil {
+			return nil, 0, err
+		}
+		return coef, linalg.SSE(a.MulVec(coef), data.Y), nil
+	}
+	effParams := func(terms int) float64 {
+		return float64(terms) + opt.Penalty*float64(terms-1)/2
+	}
+
+	keep := make([]int, len(bases))
+	for i := range keep {
+		keep[i] = i
+	}
+	coef, sse, err := fit(keep)
+	if err != nil {
+		return nil, fmt.Errorf("model: mars fit: %w", err)
+	}
+	bestKeep := append([]int{}, keep...)
+	bestCoef, bestSSE := coef, sse
+	bestGCV := GCV(sse, n, effParams(len(keep)))
+
+	cur := append([]int{}, keep...)
+	for len(cur) > 1 {
+		bestLocalGCV := math.Inf(1)
+		var bestLocal []int
+		var bestLocalCoef []float64
+		var bestLocalSSE float64
+		for drop := 1; drop < len(cur); drop++ { // never drop the intercept
+			trial := append([]int{}, cur[:drop]...)
+			trial = append(trial, cur[drop+1:]...)
+			c, s, err := fit(trial)
+			if err != nil {
+				continue
+			}
+			g := GCV(s, n, effParams(len(trial)))
+			if g < bestLocalGCV {
+				bestLocalGCV, bestLocal, bestLocalCoef, bestLocalSSE = g, trial, c, s
+			}
+		}
+		if bestLocal == nil {
+			break
+		}
+		cur = bestLocal
+		if bestLocalGCV < bestGCV {
+			bestGCV = bestLocalGCV
+			bestKeep = append([]int{}, cur...)
+			bestCoef, bestSSE = bestLocalCoef, bestLocalSSE
+		}
+	}
+
+	m := &MARSModel{GCVScore: bestGCV, TrainSSE: bestSSE}
+	for _, bi := range bestKeep {
+		m.Bases = append(m.Bases, bases[bi])
+	}
+	m.Coef = bestCoef
+	return m, nil
+}
+
+// Predict implements Model.
+func (m *MARSModel) Predict(x []float64) float64 {
+	s := 0.0
+	for i, b := range m.Bases {
+		s += m.Coef[i] * b.eval(x)
+	}
+	return s
+}
+
+// Name implements Model.
+func (m *MARSModel) Name() string { return "mars" }
+
+// NumParams returns the number of basis coefficients.
+func (m *MARSModel) NumParams() int { return len(m.Coef) }
+
+func constCol(n int) []float64 {
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 1
+	}
+	return c
+}
+
+// knotTable returns candidate knots per variable: up to maxKnots quantiles
+// of the distinct observed values, excluding the maximum (a hinge there is
+// identically zero on the data).
+func knotTable(data *Dataset, maxKnots int) [][]float64 {
+	dim := data.Dim()
+	out := make([][]float64, dim)
+	for v := 0; v < dim; v++ {
+		vals := make([]float64, data.Len())
+		for i, x := range data.X {
+			vals[i] = x[v]
+		}
+		sort.Float64s(vals)
+		uniq := vals[:0]
+		for i, x := range vals {
+			if i == 0 || x != vals[i-1] {
+				uniq = append(uniq, x)
+			}
+		}
+		if len(uniq) <= 1 {
+			continue
+		}
+		cands := uniq[:len(uniq)-1]
+		if len(cands) <= maxKnots {
+			out[v] = append([]float64{}, cands...)
+			continue
+		}
+		for i := 0; i < maxKnots; i++ {
+			out[v] = append(out[v], cands[i*len(cands)/maxKnots])
+		}
+	}
+	return out
+}
+
+func hingeCols(data *Dataset, pcol []float64, v int, t float64) ([]float64, []float64) {
+	n := data.Len()
+	c1 := make([]float64, n)
+	c2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if pcol[i] == 0 {
+			continue
+		}
+		d := data.X[i][v] - t
+		if d > 0 {
+			c1[i] = pcol[i] * d
+		} else if d < 0 {
+			c2[i] = -pcol[i] * d
+		}
+	}
+	return c1, c2
+}
+
+// orthogonalize returns c minus its projection onto the orthonormal set q.
+func orthogonalize(c []float64, q [][]float64) []float64 {
+	out := append([]float64{}, c...)
+	for _, qi := range q {
+		p := linalg.Dot(qi, out)
+		if p == 0 {
+			continue
+		}
+		for i := range out {
+			out[i] -= p * qi[i]
+		}
+	}
+	return out
+}
+
+// pairGain scores adding the hinge pair: the squared residual projection
+// captured by the two columns after orthogonalization against the current
+// span.
+func pairGain(c1, c2 []float64, q [][]float64, r []float64) float64 {
+	gain := 0.0
+	q1 := orthogonalize(c1, q)
+	n1 := linalg.Norm2(q1)
+	if n1 > 1e-10 {
+		for i := range q1 {
+			q1[i] /= n1
+		}
+		p := linalg.Dot(q1, r)
+		gain += p * p
+	} else {
+		q1 = nil
+	}
+	q2 := orthogonalize(c2, q)
+	if q1 != nil {
+		p := linalg.Dot(q1, q2)
+		for i := range q2 {
+			q2[i] -= p * q1[i]
+		}
+	}
+	n2 := linalg.Norm2(q2)
+	if n2 > 1e-10 {
+		p := linalg.Dot(q2, r) / n2
+		gain += p * p
+	}
+	return gain
+}

@@ -1,0 +1,214 @@
+// Package plot renders the reproduction's figures as standalone SVG files
+// using nothing but the standard library. It provides the small set of chart
+// forms the paper's figures need: multi-series line charts (Figures 3 and 5)
+// and scatter plots with a reference diagonal (Figure 6) or grouped points
+// (Figure 7).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line or point set.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Dashed bool
+}
+
+// Chart describes one plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Scatter draws points without connecting lines.
+	Scatter bool
+	// Diagonal draws the y=x reference line (actual-vs-predicted plots).
+	Diagonal bool
+	// YZero forces the y axis to start at zero.
+	YZero bool
+}
+
+const (
+	width   = 640
+	height  = 420
+	marginL = 70
+	marginR = 150
+	marginT = 40
+	marginB = 55
+)
+
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// SVG renders the chart to an SVG document.
+func (c *Chart) SVG() string {
+	xmin, xmax, ymin, ymax := c.bounds()
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	sx := func(x float64) float64 {
+		if xmax == xmin {
+			return marginL + plotW/2
+		}
+		return marginL + plotW*(x-xmin)/(xmax-xmin)
+	}
+	sy := func(y float64) float64 {
+		if ymax == ymin {
+			return marginT + plotH/2
+		}
+		return marginT + plotH*(1-(y-ymin)/(ymax-ymin))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+
+	// Ticks.
+	for _, t := range ticks(xmin, xmax, 6) {
+		x := sx(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, height-marginB, x, height-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, height-marginB+20, fmtTick(t))
+	}
+	for _, t := range ticks(ymin, ymax, 6) {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, y, marginL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dy="4">%s</text>`+"\n",
+			marginL-8, y, fmtTick(t))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginL, y, width-marginR, y)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+		float64(marginL)+plotW/2, height-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, esc(c.YLabel))
+
+	if c.Diagonal {
+		lo := math.Max(xmin, ymin)
+		hi := math.Min(xmax, ymax)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999999" stroke-dasharray="4 3"/>`+"\n",
+			sx(lo), sy(lo), sx(hi), sy(hi))
+	}
+
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		if !c.Scatter && len(s.X) > 1 {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+			}
+			dash := ""
+			if s.Dashed {
+				dash = ` stroke-dasharray="6 4"`
+			}
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8"%s points="%s"/>`+"\n",
+				color, dash, strings.Join(pts, " "))
+		}
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				sx(s.X[i]), sy(s.Y[i]), color)
+		}
+		// Legend.
+		ly := marginT + 16*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			width-marginR+12, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+			width-marginR+27, ly+9, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 1, 0, 1
+	}
+	if c.YZero && ymin > 0 {
+		ymin = 0
+	}
+	if c.Diagonal {
+		lo := math.Min(xmin, ymin)
+		hi := math.Max(xmax, ymax)
+		xmin, ymin, xmax, ymax = lo, lo, hi, hi
+	}
+	// Pad the y range slightly.
+	if ymax > ymin {
+		pad := (ymax - ymin) * 0.05
+		ymax += pad
+		if !c.YZero || ymin > 0 {
+			ymin -= pad
+		}
+	} else {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+// ticks picks ~n round tick values covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		return []float64{lo}
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	for _, m := range []float64{1, 2, 5, 10} {
+		step = m * mag
+		if step >= rawStep {
+			break
+		}
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step*1e-9; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	case a >= 100 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SortSeries orders the series by name for deterministic output.
+func SortSeries(ss []Series) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Name < ss[j].Name })
+}

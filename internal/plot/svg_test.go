@@ -1,0 +1,88 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartSVGBasics(t *testing.T) {
+	c := &Chart{
+		Title:  "Test & Chart",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{10, 30, 20}},
+			{Name: "b", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}, Dashed: true},
+		},
+	}
+	svg := c.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Test &amp; Chart",
+		`stroke-dasharray="6 4"`, ">a</text>", ">b</text>",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") != 6 {
+		t.Errorf("expected 6 point markers, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestScatterAndDiagonal(t *testing.T) {
+	c := &Chart{
+		Scatter:  true,
+		Diagonal: true,
+		Series:   []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{1.1, 1.9}}},
+	}
+	svg := c.SVG()
+	if strings.Contains(svg, "polyline") {
+		t.Error("scatter should not draw lines")
+	}
+	if !strings.Contains(svg, `stroke-dasharray="4 3"`) {
+		t.Error("diagonal missing")
+	}
+}
+
+func TestEmptyChartDoesNotPanic(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if svg := c.SVG(); !strings.Contains(svg, "</svg>") {
+		t.Fatal("invalid SVG for empty chart")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// Single point, identical values: still a valid document.
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{5}}}}
+	if svg := c.SVG(); !strings.Contains(svg, "<circle") {
+		t.Fatal("point not drawn")
+	}
+}
+
+func TestTicksAreRound(t *testing.T) {
+	ts := ticks(0, 100, 6)
+	if len(ts) < 3 {
+		t.Fatalf("too few ticks: %v", ts)
+	}
+	for _, v := range ts {
+		if v < 0 || v > 100.0001 {
+			t.Fatalf("tick out of range: %v", ts)
+		}
+	}
+	// Small fractional range.
+	ts2 := ticks(0.9, 1.4, 5)
+	if len(ts2) == 0 {
+		t.Fatal("no ticks for fractional range")
+	}
+	if len(ticks(5, 5, 4)) != 1 {
+		t.Fatal("degenerate range should give one tick")
+	}
+}
+
+func TestSortSeries(t *testing.T) {
+	ss := []Series{{Name: "z"}, {Name: "a"}, {Name: "m"}}
+	SortSeries(ss)
+	if ss[0].Name != "a" || ss[2].Name != "z" {
+		t.Fatalf("not sorted: %v", []string{ss[0].Name, ss[1].Name, ss[2].Name})
+	}
+}

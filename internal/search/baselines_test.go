@@ -1,0 +1,84 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/doe"
+)
+
+// rugged is a deceptive surface: a broad basin plus interactions that
+// mislead coordinate-wise search.
+func rugged(x []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(x)-1; i++ {
+		s += (x[i] - 0.3) * (x[i] - 0.3)
+		s += 1.5 * x[i] * x[i+1]
+	}
+	return s
+}
+
+func TestBaselinesFindReasonablePoints(t *testing.T) {
+	s := smallSpace()
+	m := funcModel{rugged}
+	prob := Problem{Space: s, Model: m}
+	rs := RandomSearch(prob, 500, rand.New(rand.NewSource(1)))
+	hc := HillClimb(prob, 500, rand.New(rand.NewSource(1)))
+	if rs.Point == nil || hc.Point == nil {
+		t.Fatal("baselines returned nothing")
+	}
+	// Both should land well below the random-point average.
+	rng := rand.New(rand.NewSource(2))
+	avg := 0.0
+	for i := 0; i < 200; i++ {
+		avg += m.Predict(s.Code(s.RandomPoint(rng)))
+	}
+	avg /= 200
+	if rs.Predicted >= avg || hc.Predicted >= avg {
+		t.Fatalf("baselines no better than random average: rs=%v hc=%v avg=%v",
+			rs.Predicted, hc.Predicted, avg)
+	}
+}
+
+func TestBaselinesRespectFrozen(t *testing.T) {
+	s := smallSpace()
+	prob := Problem{
+		Space:  s,
+		Model:  funcModel{func(x []float64) float64 { return x[0] + x[2] }},
+		Frozen: map[int]int64{1: 1, 3: 9},
+	}
+	for _, res := range []*Result{
+		RandomSearch(prob, 100, rand.New(rand.NewSource(3))),
+		HillClimb(prob, 100, rand.New(rand.NewSource(3))),
+	} {
+		if res.Point[1] != 1 || res.Point[3] != 9 {
+			t.Fatalf("frozen variables violated: %v", res.Point)
+		}
+	}
+}
+
+func TestGACompetitiveWithBaselinesAtEqualBudget(t *testing.T) {
+	// On the joint space with a surface containing flag interactions, the
+	// GA should match or beat both baselines at the same budget.
+	js := doe.JointSpace()
+	m := funcModel{func(x []float64) float64 {
+		s := 0.0
+		// Reward specific flag combinations (interactions), penalize
+		// heuristic extremes.
+		s -= 5 * x[0] * x[4]
+		s -= 3 * x[1] * x[16]
+		s += 2 * (x[9] - 0.4) * (x[9] - 0.4)
+		s += x[13]*x[13] - x[22]
+		return s
+	}}
+	prob := Problem{Space: js, Model: m}
+
+	ga := Optimize(prob, GAOptions{Population: 40, Generations: 24}, rand.New(rand.NewSource(5)))
+	budget := ga.Evals
+	rs := RandomSearch(prob, budget, rand.New(rand.NewSource(5)))
+	hc := HillClimb(prob, budget, rand.New(rand.NewSource(5)))
+	t.Logf("budget=%d ga=%.3f random=%.3f hillclimb=%.3f", budget, ga.Predicted, rs.Predicted, hc.Predicted)
+	if ga.Predicted > rs.Predicted+1e-9 {
+		t.Errorf("GA (%v) lost to random search (%v)", ga.Predicted, rs.Predicted)
+	}
+}

@@ -1,0 +1,177 @@
+// Package search implements the paper's model-based design space
+// exploration: a genetic algorithm searches for the compiler flag and
+// heuristic settings that minimize predicted execution time under a frozen
+// microarchitectural configuration, using an empirical model as a zero-cost
+// surrogate for simulation.
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/doe"
+	"repro/internal/model"
+)
+
+// Problem is one model-based minimization over a parameter space.
+type Problem struct {
+	Space *doe.Space
+	Model model.Model
+	// Frozen maps variable indices to fixed raw values (e.g. the
+	// microarchitectural block when searching compiler settings for a
+	// given platform).
+	Frozen map[int]int64
+}
+
+// GAOptions tunes the genetic algorithm.
+type GAOptions struct {
+	Population  int     // default 60
+	Generations int     // default 40
+	Tournament  int     // default 3
+	CrossRate   float64 // per-gene probability of taking parent B (default 0.5)
+	MutRate     float64 // per-gene mutation probability (default 0.08)
+	Elite       int     // individuals carried over unchanged (default 2)
+}
+
+func (o GAOptions) withDefaults() GAOptions {
+	if o.Population == 0 {
+		o.Population = 60
+	}
+	if o.Generations == 0 {
+		o.Generations = 40
+	}
+	if o.Tournament == 0 {
+		o.Tournament = 3
+	}
+	if o.CrossRate == 0 {
+		o.CrossRate = 0.5
+	}
+	if o.MutRate == 0 {
+		o.MutRate = 0.08
+	}
+	if o.Elite == 0 {
+		o.Elite = 2
+	}
+	return o
+}
+
+// Result reports the best point found and its predicted response.
+type Result struct {
+	Point     doe.Point
+	Predicted float64
+	Evals     int
+}
+
+// Optimize runs the GA and returns the best design point found (raw
+// values), minimizing the model's predicted response.
+func Optimize(p Problem, opt GAOptions, rng *rand.Rand) *Result {
+	opt = opt.withDefaults()
+	k := p.Space.NumVars()
+
+	clamp := func(pt doe.Point) {
+		for i, v := range p.Frozen {
+			pt[i] = v
+		}
+	}
+	newRandom := func() doe.Point {
+		pt := p.Space.RandomPoint(rng)
+		clamp(pt)
+		return pt
+	}
+	evals := 0
+	fitness := func(pt doe.Point) float64 {
+		evals++
+		return p.Model.Predict(p.Space.Code(pt))
+	}
+
+	pop := make([]doe.Point, opt.Population)
+	fit := make([]float64, opt.Population)
+	for i := range pop {
+		pop[i] = newRandom()
+		fit[i] = fitness(pop[i])
+	}
+
+	bestI := argmin(fit)
+	best := append(doe.Point{}, pop[bestI]...)
+	bestFit := fit[bestI]
+
+	tournament := func() doe.Point {
+		wi := rng.Intn(len(pop))
+		for t := 1; t < opt.Tournament; t++ {
+			c := rng.Intn(len(pop))
+			if fit[c] < fit[wi] {
+				wi = c
+			}
+		}
+		return pop[wi]
+	}
+
+	for gen := 0; gen < opt.Generations; gen++ {
+		next := make([]doe.Point, 0, opt.Population)
+		// Elitism: carry the best individuals forward.
+		order := sortedByFitness(fit)
+		for e := 0; e < opt.Elite && e < len(order); e++ {
+			next = append(next, append(doe.Point{}, pop[order[e]]...))
+		}
+		for len(next) < opt.Population {
+			a, b := tournament(), tournament()
+			child := make(doe.Point, k)
+			for g := 0; g < k; g++ {
+				if rng.Float64() < opt.CrossRate {
+					child[g] = b[g]
+				} else {
+					child[g] = a[g]
+				}
+				if rng.Float64() < opt.MutRate {
+					levels := p.Space.Vars[g].LevelValues()
+					child[g] = levels[rng.Intn(len(levels))]
+				}
+			}
+			clamp(child)
+			next = append(next, child)
+		}
+		pop = next
+		for i := range pop {
+			fit[i] = fitness(pop[i])
+			if fit[i] < bestFit {
+				bestFit = fit[i]
+				best = append(doe.Point{}, pop[i]...)
+			}
+		}
+	}
+	return &Result{Point: best, Predicted: bestFit, Evals: evals}
+}
+
+// FindCompilerSettings freezes the microarchitectural block of the joint
+// space to cfgBlock (11 raw values) and searches the compiler block — the
+// platform-specific optimization search of the paper's Section 6.3.
+func FindCompilerSettings(space *doe.Space, m model.Model, march []int64, opt GAOptions, rng *rand.Rand) *Result {
+	frozen := map[int]int64{}
+	for i, v := range march {
+		frozen[doe.NumCompilerVars+i] = v
+	}
+	return Optimize(Problem{Space: space, Model: m, Frozen: frozen}, opt, rng)
+}
+
+func argmin(xs []float64) int {
+	bi, bv := 0, math.Inf(1)
+	for i, x := range xs {
+		if x < bv {
+			bi, bv = i, x
+		}
+	}
+	return bi
+}
+
+func sortedByFitness(fit []float64) []int {
+	idx := make([]int, len(fit))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && fit[idx[j-1]] > fit[idx[j]]; j-- {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
+	return idx
+}

@@ -1,0 +1,100 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/doe"
+	"repro/internal/sim"
+)
+
+// funcModel adapts a plain function to the model.Model interface.
+type funcModel struct {
+	f func(x []float64) float64
+}
+
+func (m funcModel) Predict(x []float64) float64 { return m.f(x) }
+func (m funcModel) Name() string                { return "func" }
+
+func smallSpace() *doe.Space {
+	return &doe.Space{Vars: []doe.Var{
+		{Name: "a", Kind: doe.Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "b", Kind: doe.Flag, Low: 0, High: 1, Levels: 2},
+		{Name: "c", Kind: doe.Int, Low: 0, High: 10, Levels: 11},
+		{Name: "d", Kind: doe.Int, Low: 0, High: 10, Levels: 11},
+	}}
+}
+
+func TestGAFindsKnownOptimum(t *testing.T) {
+	s := smallSpace()
+	// Minimum at a=1, b=0, c=10 (coded 1), d=5 (coded 0).
+	m := funcModel{func(x []float64) float64 {
+		return 100 - 5*x[0] + 7*x[1] - 3*x[2] + 4*x[3]*x[3]
+	}}
+	res := Optimize(Problem{Space: s, Model: m}, GAOptions{}, rand.New(rand.NewSource(1)))
+	p := res.Point
+	if p[0] != 1 || p[1] != 0 || p[2] != 10 || p[3] != 5 {
+		t.Fatalf("GA found %v, want [1 0 10 5]", p)
+	}
+	if res.Evals == 0 {
+		t.Fatal("no evaluations counted")
+	}
+}
+
+func TestGARespectsFrozenVariables(t *testing.T) {
+	s := smallSpace()
+	m := funcModel{func(x []float64) float64 { return x[0] + x[1] + x[2] + x[3] }}
+	res := Optimize(Problem{
+		Space:  s,
+		Model:  m,
+		Frozen: map[int]int64{0: 1, 2: 7},
+	}, GAOptions{}, rand.New(rand.NewSource(2)))
+	if res.Point[0] != 1 || res.Point[2] != 7 {
+		t.Fatalf("frozen variables changed: %v", res.Point)
+	}
+	// Free variables still minimized.
+	if res.Point[1] != 0 || res.Point[3] != 0 {
+		t.Fatalf("free variables not optimized: %v", res.Point)
+	}
+}
+
+func TestGADeterministicWithSeed(t *testing.T) {
+	s := smallSpace()
+	m := funcModel{func(x []float64) float64 { return x[2]*x[2] + x[3] }}
+	a := Optimize(Problem{Space: s, Model: m}, GAOptions{}, rand.New(rand.NewSource(9)))
+	b := Optimize(Problem{Space: s, Model: m}, GAOptions{}, rand.New(rand.NewSource(9)))
+	for i := range a.Point {
+		if a.Point[i] != b.Point[i] {
+			t.Fatal("same seed must give same result")
+		}
+	}
+}
+
+func TestFindCompilerSettingsFreezesMicroarch(t *testing.T) {
+	js := doe.JointSpace()
+	// Prefer all flags on, heuristics high; microarch fixed to typical.
+	m := funcModel{func(x []float64) float64 {
+		s := 0.0
+		for i := 0; i < doe.NumCompilerVars; i++ {
+			s -= x[i]
+		}
+		return s
+	}}
+	march := doe.FromConfig(sim.DefaultConfig())
+	res := FindCompilerSettings(js, m, march, GAOptions{Generations: 60}, rand.New(rand.NewSource(3)))
+	for i, v := range march {
+		if res.Point[doe.NumCompilerVars+i] != v {
+			t.Fatalf("microarch block changed at %d", i)
+		}
+	}
+	// All 9 flags should be driven to 1.
+	for i := 0; i < 9; i++ {
+		if res.Point[i] != 1 {
+			t.Fatalf("flag %d not maximized: %v", i, res.Point[:14])
+		}
+	}
+	// Numeric heuristics driven to their high values.
+	if res.Point[9] != 150 || res.Point[13] != 300 {
+		t.Fatalf("heuristics not maximized: %v", res.Point[:14])
+	}
+}

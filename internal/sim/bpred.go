@@ -1,0 +1,113 @@
+package sim
+
+// BPred is a combined branch predictor in the style of the paper's setup: a
+// bimodal predictor and a gshare-style 2-level predictor of equal size, with
+// a meta chooser of the same size (the "branch predictor size" parameter
+// sets the number of entries in each table).
+type BPred struct {
+	mask     uint32
+	bimodal  []uint8 // 2-bit counters
+	gshare   []uint8 // 2-bit counters indexed by pc ^ history
+	chooser  []uint8 // 2-bit: >=2 prefers gshare
+	history  uint32
+	histMask uint32
+
+	Lookups     int64
+	Mispredicts int64
+}
+
+// NewBPred builds a combined predictor with size entries per table; size
+// must be a power of two.
+func NewBPred(size int) *BPred {
+	p := &BPred{
+		mask:    uint32(size - 1),
+		bimodal: make([]uint8, size),
+		gshare:  make([]uint8, size),
+		chooser: make([]uint8, size),
+	}
+	// History length: log2(size) bits, matching table reach.
+	bits := 0
+	for s := size; s > 1; s >>= 1 {
+		bits++
+	}
+	p.histMask = uint32(1)<<uint(bits) - 1
+	for i := range p.bimodal {
+		p.bimodal[i] = 1 // weakly not-taken
+		p.gshare[i] = 1
+		p.chooser[i] = 1 // weakly prefer bimodal
+	}
+	return p
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *BPred) Predict(pc int32) bool {
+	i := uint32(pc) & p.mask
+	g := (uint32(pc) ^ (p.history & p.histMask)) & p.mask
+	if p.chooser[i] >= 2 {
+		return p.gshare[g] >= 2
+	}
+	return p.bimodal[i] >= 2
+}
+
+// Update trains the predictor with the actual outcome and returns whether
+// the earlier prediction was correct. Call once per conditional branch.
+func (p *BPred) Update(pc int32, taken bool) bool {
+	p.Lookups++
+	i := uint32(pc) & p.mask
+	g := (uint32(pc) ^ (p.history & p.histMask)) & p.mask
+
+	biPred := p.bimodal[i] >= 2
+	gsPred := p.gshare[g] >= 2
+	var pred bool
+	if p.chooser[i] >= 2 {
+		pred = gsPred
+	} else {
+		pred = biPred
+	}
+	correct := pred == taken
+	if !correct {
+		p.Mispredicts++
+	}
+
+	// Chooser trains toward whichever component was right (when they
+	// disagree).
+	if biPred != gsPred {
+		if gsPred == taken {
+			p.chooser[i] = sat(p.chooser[i], true)
+		} else {
+			p.chooser[i] = sat(p.chooser[i], false)
+		}
+	}
+	p.bimodal[i] = sat(p.bimodal[i], taken)
+	p.gshare[g] = sat(p.gshare[g], taken)
+	p.history = p.history<<1 | b2u(taken)
+	return correct
+}
+
+func sat(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MispredictRate returns mispredicts/lookups.
+func (p *BPred) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}

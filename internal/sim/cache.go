@@ -1,0 +1,126 @@
+package sim
+
+// LineBytes is the cache line size at every level of the hierarchy.
+const LineBytes = 64
+
+// Cache is a set-associative cache with true-LRU replacement. It tracks tag
+// state only; data is architecturally held by the executor.
+type Cache struct {
+	sets     int
+	assoc    int
+	setShift uint // log2(LineBytes)
+	setMask  uint64
+	tags     []uint64 // sets*assoc entries
+	valid    []bool
+	lru      []uint8 // age per way; 0 = most recent
+	Accesses int64
+	Misses   int64
+}
+
+// NewCache builds a cache of sizeKB kilobytes with the given associativity.
+// The set count is forced to at least 1.
+func NewCache(sizeKB, assoc int) *Cache {
+	lines := sizeKB * 1024 / LineBytes
+	if assoc < 1 {
+		assoc = 1
+	}
+	sets := lines / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for mask indexing.
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	c := &Cache{
+		sets:     sets,
+		assoc:    assoc,
+		setShift: 6, // log2(LineBytes)
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*assoc),
+		valid:    make([]bool, sets*assoc),
+		lru:      make([]uint8, sets*assoc),
+	}
+	return c
+}
+
+// Access looks up the line containing addr, updating LRU state, and
+// allocates it on miss. Returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	tag := line >> 0 // full line address as tag (set bits redundant but harmless)
+	base := set * c.assoc
+
+	hitWay := -1
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			hitWay = w
+			break
+		}
+	}
+	if hitWay >= 0 {
+		c.touch(base, hitWay)
+		return true
+	}
+	c.Misses++
+	// Choose victim: invalid way first, else oldest.
+	victim := 0
+	oldest := uint8(0)
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+		if c.lru[base+w] >= oldest {
+			oldest = c.lru[base+w]
+			victim = w
+		}
+	}
+	c.valid[base+victim] = true
+	c.tags[base+victim] = tag
+	c.touch(base, victim)
+	return false
+}
+
+// Contains reports whether addr's line is present without updating state.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) touch(base, way int) {
+	cur := c.lru[base+way]
+	for w := 0; w < c.assoc; w++ {
+		if c.lru[base+w] < cur {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// Reset clears all cache contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+		c.tags[i] = 0
+	}
+	c.Accesses, c.Misses = 0, 0
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func feedN(cpu *CPU, in isa.Instr, n int, startPC int32) {
+	for i := 0; i < n; i++ {
+		cpu.Feed(&in, TraceEntry{PC: startPC + int32(i), NextPC: startPC + int32(i) + 1})
+	}
+}
+
+func TestIssueBandwidthRing(t *testing.T) {
+	cfg := DefaultConfig()
+	cpu := NewCPU(cfg)
+	// More issues than width at the same desired cycle must spill into
+	// later cycles.
+	want := int64(100)
+	var got []int64
+	for i := 0; i < cfg.IssueWidth*2; i++ {
+		got = append(got, cpu.issueAt(want))
+	}
+	for i := 0; i < cfg.IssueWidth; i++ {
+		if got[i] != want {
+			t.Fatalf("issue %d at %d, want %d", i, got[i], want)
+		}
+	}
+	for i := cfg.IssueWidth; i < 2*cfg.IssueWidth; i++ {
+		if got[i] != want+1 {
+			t.Fatalf("overflow issue %d at %d, want %d", i, got[i], want+1)
+		}
+	}
+}
+
+func TestCommitBandwidthLimitsIPC(t *testing.T) {
+	cfg := DefaultConfig()
+	cpu := NewCPU(cfg)
+	// Independent single-cycle instructions: IPC can't exceed issue width.
+	in := isa.Instr{Op: isa.OpAdd, Rd: 11, Rs1: 0, Rs2: 0}
+	feedN(cpu, in, 10000, 0)
+	st := cpu.Stats()
+	if ipc := st.IPC(); ipc > float64(cfg.IssueWidth)+0.01 {
+		t.Fatalf("IPC %.2f exceeds issue width %d", ipc, cfg.IssueWidth)
+	}
+}
+
+func TestRUUWindowLimitsOverlap(t *testing.T) {
+	// A chain of dependent long-latency instructions: the window cannot
+	// hide the latency, so cycles scale with latency × count.
+	mk := func(ruu int) int64 {
+		cfg := DefaultConfig()
+		cfg.RUUSize = ruu
+		cpu := NewCPU(cfg)
+		dep := isa.Instr{Op: isa.OpMul, Rd: 11, Rs1: 11, Rs2: 11}
+		feedN(cpu, dep, 2000, 0)
+		return cpu.Stats().Cycles
+	}
+	small, big := mk(16), mk(128)
+	// A serial dependence chain gains nothing from a bigger window.
+	if diff := float64(small-big) / float64(small); diff > 0.05 || diff < -0.05 {
+		t.Fatalf("serial chain should not depend on RUU size: 16→%d 128→%d", small, big)
+	}
+	if small < 2000*int64(isa.OpMul.Latency()) {
+		t.Fatalf("dependent muls cannot beat latency bound: %d cycles", small)
+	}
+}
+
+func TestMispredictStallsFetch(t *testing.T) {
+	run := func(taken func(i int) bool) int64 {
+		cfg := DefaultConfig()
+		cpu := NewCPU(cfg)
+		br := isa.Instr{Op: isa.OpBne, Rs1: 11, Rs2: 0, Target: 0}
+		for i := 0; i < 5000; i++ {
+			cpu.Feed(&br, TraceEntry{PC: 0, NextPC: 0, Taken: taken(i)})
+		}
+		return cpu.Stats().Cycles
+	}
+	predictable := run(func(i int) bool { return true })
+	// Pseudo-random pattern defeats the predictor.
+	lfsr := uint32(0xACE1)
+	random := run(func(i int) bool {
+		bit := (lfsr ^ lfsr>>2 ^ lfsr>>3 ^ lfsr>>5) & 1
+		lfsr = lfsr>>1 | bit<<15
+		return bit == 1
+	})
+	if random <= predictable {
+		t.Fatalf("unpredictable branches should cost cycles: predictable=%d random=%d",
+			predictable, random)
+	}
+}
+
+func TestStoreBufferHidesStoreLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemLat = 150
+	mk := func(op isa.Op) int64 {
+		cpu := NewCPU(cfg)
+		in := isa.Instr{Op: op, Rd: 11, Rs1: 12}
+		// Stride over DRAM-resident lines.
+		for i := 0; i < 3000; i++ {
+			cpu.Feed(&in, TraceEntry{PC: int32(i % 8), NextPC: int32(i%8) + 1,
+				Addr: uint64(isa.GlobalBase + i*64)})
+		}
+		return cpu.Stats().Cycles
+	}
+	loads, stores := mk(isa.OpLoad), mk(isa.OpStore)
+	if stores >= loads {
+		t.Fatalf("store buffer should hide store miss latency: loads=%d stores=%d", loads, stores)
+	}
+}
+
+func TestEnergyAndTraceHookFire(t *testing.T) {
+	cfg := DefaultConfig()
+	cpu := NewCPU(cfg)
+	events := 0
+	cpu.Trace = func(ev TraceEvent) {
+		if ev.Commit < ev.Issue || ev.Issue < ev.Dispatch {
+			t.Fatalf("pipeline stages out of order: %+v", ev)
+		}
+		events++
+	}
+	in := isa.Instr{Op: isa.OpAdd, Rd: 11}
+	feedN(cpu, in, 10, 0)
+	if events != 10 {
+		t.Fatalf("trace events = %d, want 10", events)
+	}
+	if cpu.Stats().Energy <= 0 {
+		t.Fatal("energy not accumulated")
+	}
+}

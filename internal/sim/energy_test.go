@@ -1,0 +1,49 @@
+package sim
+
+import "testing"
+
+func TestEnergyAccumulates(t *testing.T) {
+	st := mustSim(t, handProgram(10000), DefaultConfig())
+	if st.Energy <= 0 {
+		t.Fatal("energy should accumulate")
+	}
+	st2 := mustSim(t, handProgram(20000), DefaultConfig())
+	if st2.Energy <= st.Energy {
+		t.Fatal("more work should cost more energy")
+	}
+}
+
+func TestEnergyTracksMemoryTraffic(t *testing.T) {
+	// A DRAM-walking program must burn far more energy per instruction
+	// than a register-resident loop.
+	mem := mustSim(t, memProgram(1<<19, 2, 8), DefaultConfig())
+	alu := mustSim(t, ilpProgram(100000), DefaultConfig())
+	memEPI := mem.Energy / float64(mem.Instructions)
+	aluEPI := alu.Energy / float64(alu.Instructions)
+	if memEPI < 2*aluEPI {
+		t.Fatalf("memory-bound energy/instr (%.2f) should dwarf ALU-bound (%.2f)", memEPI, aluEPI)
+	}
+}
+
+func TestBusContentionSlowsBurstMisses(t *testing.T) {
+	// A stream of back-to-back DRAM misses queues on the bus: cycles must
+	// exceed what pure miss latency without queueing would give. We check
+	// the bus effect indirectly: with a large working set and stride-8
+	// (one miss per line), IPC should be clearly below a small working
+	// set running the same code.
+	big := mustSim(t, memProgram(1<<19, 2, 8), DefaultConfig())
+	small := mustSim(t, memProgram(1<<8, 2048, 8), DefaultConfig())
+	if big.IPC() >= small.IPC() {
+		t.Fatalf("DRAM-bound IPC (%.2f) should trail cache-resident IPC (%.2f)",
+			big.IPC(), small.IPC())
+	}
+}
+
+func TestBusResetWithTiming(t *testing.T) {
+	cpu := NewCPU(DefaultConfig())
+	cpu.busFree = 12345
+	cpu.ResetTiming()
+	if cpu.busFree != 0 {
+		t.Fatal("ResetTiming must clear bus state")
+	}
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Memory is a sparse word-addressed memory backed by fixed-size pages.
+type Memory struct {
+	pages map[uint64]*[pageWords]int64
+}
+
+const (
+	pageShift = 12 // 4 KiB pages
+	pageWords = 1 << (pageShift - 3)
+)
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint64]*[pageWords]int64{}}
+}
+
+// Load reads the word at byte address addr (which must be 8-byte aligned in
+// well-formed programs; unaligned addresses are truncated to words).
+func (m *Memory) Load(addr uint64) int64 {
+	w := addr >> 3
+	page := m.pages[w>>(pageShift-3)]
+	if page == nil {
+		return 0
+	}
+	return page[w&(pageWords-1)]
+}
+
+// Store writes the word at byte address addr.
+func (m *Memory) Store(addr uint64, val int64) {
+	w := addr >> 3
+	pi := w >> (pageShift - 3)
+	page := m.pages[pi]
+	if page == nil {
+		page = new([pageWords]int64)
+		m.pages[pi] = page
+	}
+	page[w&(pageWords-1)] = val
+}
+
+// Executor interprets a program instruction-by-instruction, producing the
+// dynamic stream consumed by the timing model.
+type Executor struct {
+	Prog *isa.Program
+	Mem  *Memory
+	Regs [isa.NumRegs]int64
+
+	PC     int32
+	Halted bool
+
+	// Count is the number of instructions executed so far.
+	Count int64
+}
+
+// TraceEntry describes one executed instruction for the timing model.
+type TraceEntry struct {
+	PC     int32  // instruction index
+	NextPC int32  // index of the next instruction executed
+	Addr   uint64 // effective byte address for memory operations
+	Taken  bool   // conditional branches: was the branch taken
+}
+
+// NewExecutor prepares an executor with globals initialized and the stack
+// pointer set.
+func NewExecutor(p *isa.Program) *Executor {
+	e := &Executor{Prog: p, Mem: NewMemory(), PC: p.Entry}
+	e.Regs[isa.RegSP] = isa.StackBase
+	for _, di := range p.Init {
+		e.Mem.Store(di.Addr, di.Val)
+	}
+	return e
+}
+
+// ErrFault is returned for invalid memory or control transfers, which
+// indicate a compiler bug rather than a program property.
+type ErrFault struct {
+	PC  int32
+	Msg string
+}
+
+func (e *ErrFault) Error() string {
+	return fmt.Sprintf("sim: fault at pc %d: %s", e.PC, e.Msg)
+}
+
+const minValidAddr = 4096
+
+// Step executes one instruction and reports it. After the final halt, ok is
+// false.
+func (e *Executor) Step() (entry TraceEntry, ok bool, err error) {
+	if e.Halted {
+		return TraceEntry{}, false, nil
+	}
+	if e.PC < 0 || int(e.PC) >= len(e.Prog.Instrs) {
+		return TraceEntry{}, false, &ErrFault{e.PC, "pc out of range"}
+	}
+	in := &e.Prog.Instrs[e.PC]
+	entry = TraceEntry{PC: e.PC, NextPC: e.PC + 1}
+	r := &e.Regs
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case isa.OpSub:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case isa.OpAnd:
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+	case isa.OpOr:
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+	case isa.OpXor:
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+	case isa.OpShl:
+		r[in.Rd] = r[in.Rs1] << (uint64(r[in.Rs2]) & 63)
+	case isa.OpShr:
+		r[in.Rd] = r[in.Rs1] >> (uint64(r[in.Rs2]) & 63)
+	case isa.OpSlt:
+		r[in.Rd] = b2i(r[in.Rs1] < r[in.Rs2])
+	case isa.OpSle:
+		r[in.Rd] = b2i(r[in.Rs1] <= r[in.Rs2])
+	case isa.OpSeq:
+		r[in.Rd] = b2i(r[in.Rs1] == r[in.Rs2])
+	case isa.OpSne:
+		r[in.Rd] = b2i(r[in.Rs1] != r[in.Rs2])
+	case isa.OpAddi:
+		r[in.Rd] = r[in.Rs1] + in.Imm
+	case isa.OpLui:
+		r[in.Rd] = in.Imm
+	case isa.OpMul:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case isa.OpDiv:
+		if r[in.Rs2] == 0 {
+			r[in.Rd] = 0
+		} else {
+			r[in.Rd] = r[in.Rs1] / r[in.Rs2]
+		}
+	case isa.OpRem:
+		if r[in.Rs2] == 0 {
+			r[in.Rd] = 0
+		} else {
+			r[in.Rd] = r[in.Rs1] % r[in.Rs2]
+		}
+	case isa.OpLoad:
+		addr := uint64(r[in.Rs1] + in.Imm)
+		if addr < minValidAddr {
+			return TraceEntry{}, false, &ErrFault{e.PC, fmt.Sprintf("load from %#x", addr)}
+		}
+		entry.Addr = addr
+		r[in.Rd] = e.Mem.Load(addr)
+	case isa.OpStore:
+		addr := uint64(r[in.Rs1] + in.Imm)
+		if addr < minValidAddr {
+			return TraceEntry{}, false, &ErrFault{e.PC, fmt.Sprintf("store to %#x", addr)}
+		}
+		entry.Addr = addr
+		e.Mem.Store(addr, r[in.Rs2])
+	case isa.OpPrefetch:
+		addr := uint64(r[in.Rs1] + in.Imm)
+		entry.Addr = addr // non-binding: no fault, no architectural effect
+	case isa.OpBeq:
+		entry.Taken = r[in.Rs1] == r[in.Rs2]
+		if entry.Taken {
+			entry.NextPC = in.Target
+		}
+	case isa.OpBne:
+		entry.Taken = r[in.Rs1] != r[in.Rs2]
+		if entry.Taken {
+			entry.NextPC = in.Target
+		}
+	case isa.OpBlt:
+		entry.Taken = r[in.Rs1] < r[in.Rs2]
+		if entry.Taken {
+			entry.NextPC = in.Target
+		}
+	case isa.OpBge:
+		entry.Taken = r[in.Rs1] >= r[in.Rs2]
+		if entry.Taken {
+			entry.NextPC = in.Target
+		}
+	case isa.OpJump:
+		entry.NextPC = in.Target
+	case isa.OpCall:
+		r[isa.RegRA] = int64(e.PC + 1)
+		entry.NextPC = in.Target
+	case isa.OpRet:
+		entry.NextPC = int32(r[isa.RegRA])
+	case isa.OpHalt:
+		e.Halted = true
+		entry.NextPC = e.PC
+	default:
+		return TraceEntry{}, false, &ErrFault{e.PC, fmt.Sprintf("unknown opcode %d", in.Op)}
+	}
+	r[isa.RegZero] = 0 // r0 stays hardwired even if targeted
+	e.PC = entry.NextPC
+	e.Count++
+	return entry, true, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes until halt or until maxInstrs is exceeded, returning the
+// number of instructions executed and main's return value.
+func (e *Executor) Run(maxInstrs int64) (int64, int64, error) {
+	for !e.Halted {
+		if e.Count >= maxInstrs {
+			return e.Count, 0, &ErrFault{e.PC, fmt.Sprintf("instruction budget %d exceeded", maxInstrs)}
+		}
+		if _, _, err := e.Step(); err != nil {
+			return e.Count, 0, err
+		}
+	}
+	return e.Count, e.Regs[isa.RegRV], nil
+}

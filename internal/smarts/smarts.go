@@ -1,0 +1,206 @@
+// Package smarts implements SMARTS-style statistically sampled simulation
+// (Wunderlich et al., ISCA 2003), the methodology the paper uses to make
+// whole-program cycle-accurate measurement affordable: small detailed
+// windows are simulated at fixed intervals, the instructions in between are
+// fast-forwarded with functional warming of the caches and branch predictor,
+// and the per-window CPI sample mean yields a whole-run cycle estimate with
+// a confidence interval from the central limit theorem.
+package smarts
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Sampler configures systematic sampling.
+type Sampler struct {
+	// WindowSize is the number of instructions per detailed window (the
+	// paper uses 1000).
+	WindowSize int64
+	// Interval is the sampling period in windows: 1 in every Interval
+	// windows is simulated in detail (the paper uses 1000).
+	Interval int64
+	// Offset shifts which window in each period is detailed (0 <=
+	// Offset < Interval); vary it to draw independent sample sets.
+	Offset int64
+	// Warmup is the number of instructions simulated in detail (but not
+	// measured) immediately before each detailed window, removing the
+	// cold-pipeline bias at window entry. SMARTS calls this detailed
+	// warming; functional warming still covers caches and the predictor.
+	Warmup int64
+}
+
+// DefaultSampler returns the paper's sampling parameters.
+func DefaultSampler() Sampler {
+	return Sampler{WindowSize: 1000, Interval: 1000}
+}
+
+// Result holds a sampled simulation estimate.
+type Result struct {
+	EstimatedCycles float64
+	Instructions    int64
+	Windows         int // detailed windows measured
+	MeanCPI         float64
+	StdCPI          float64
+	// RelCI997 is the relative half-width of the 99.7% (3σ) confidence
+	// interval on the mean CPI.
+	RelCI997  float64
+	ExitValue int64
+}
+
+// Run simulates prog under cfg with systematic sampling and returns the
+// cycle estimate. maxInstrs bounds the run.
+func Run(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64) (*Result, error) {
+	if s.WindowSize <= 0 || s.Interval <= 0 {
+		return nil, errors.New("smarts: window size and interval must be positive")
+	}
+	if s.Offset < 0 || s.Offset >= s.Interval {
+		return nil, errors.New("smarts: offset out of range")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	exe := sim.NewExecutor(prog)
+	cpu := sim.NewCPU(cfg) // holds the long-history state (caches, bpred)
+
+	var cpis []float64
+	inDetail := false      // pipeline currently running in detailed mode
+	var measureStart int64 // cycle counter at measured-window entry (-1: warming)
+	var windowInstrs int64 // measured instructions in the current window
+	period := s.WindowSize * s.Interval
+
+	// classify returns (detailed, measured) for instruction index i.
+	classify := func(i int64) (bool, bool) {
+		windowIdx := i / s.WindowSize
+		if windowIdx%s.Interval == s.Offset {
+			return true, true
+		}
+		if s.Warmup > 0 {
+			// Distance to the start of the next detailed window.
+			p := windowIdx / s.Interval
+			det := (p*s.Interval + s.Offset) * s.WindowSize
+			if i >= det {
+				det += period
+			}
+			if det-i <= s.Warmup {
+				return true, false
+			}
+		}
+		return false, false
+	}
+
+	flush := func() {
+		if windowInstrs > 0 {
+			c := cpu.Stats().Cycles - measureStart
+			cpis = append(cpis, float64(c)/float64(windowInstrs))
+		}
+		windowInstrs = 0
+		inDetail = false
+	}
+
+	for !exe.Halted {
+		if exe.Count >= maxInstrs {
+			return nil, errors.New("smarts: instruction budget exceeded")
+		}
+		entry, ok, err := exe.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		in := &prog.Instrs[entry.PC]
+
+		detailed, measured := classify(exe.Count - 1)
+		if detailed {
+			if !inDetail {
+				// Fresh pipeline over the warmed microarch state.
+				cpu.ResetTiming()
+				inDetail = true
+				measureStart = -1
+			}
+			if measured && measureStart < 0 {
+				measureStart = cpu.Stats().Cycles
+			}
+			cpu.Feed(in, entry)
+			if measured {
+				windowInstrs++
+				if windowInstrs == s.WindowSize {
+					flush()
+				}
+			}
+		} else {
+			flush()
+			cpu.WarmFeed(in, entry)
+		}
+	}
+	flush()
+	if len(cpis) == 0 {
+		// Program shorter than one sampling period: fall back to the
+		// detailed simulation of everything we executed.
+		st, err := sim.Simulate(prog, cfg, maxInstrs)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			EstimatedCycles: float64(st.Cycles),
+			Instructions:    st.Instructions,
+			Windows:         0,
+			MeanCPI:         float64(st.Cycles) / float64(st.Instructions),
+			ExitValue:       st.ExitValue,
+		}, nil
+	}
+
+	mean, std := meanStd(cpis)
+	rel := 0.0
+	if mean > 0 {
+		rel = 3 * std / (math.Sqrt(float64(len(cpis))) * mean)
+	}
+	return &Result{
+		EstimatedCycles: mean * float64(exe.Count),
+		Instructions:    exe.Count,
+		Windows:         len(cpis),
+		MeanCPI:         mean,
+		StdCPI:          std,
+		RelCI997:        rel,
+		ExitValue:       exe.Regs[isa.RegRV],
+	}, nil
+}
+
+// RunToConfidence repeatedly increases sampling density (halving the
+// interval) until the 99.7% confidence half-width falls below relTarget or
+// the interval reaches 1 (full detail). This is the iterative refinement
+// loop SMARTS prescribes.
+func RunToConfidence(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64, relTarget float64) (*Result, error) {
+	for {
+		res, err := Run(prog, cfg, s, maxInstrs)
+		if err != nil {
+			return nil, err
+		}
+		if res.RelCI997 <= relTarget || s.Interval <= 1 {
+			return res, nil
+		}
+		s.Interval /= 2
+		if s.Offset >= s.Interval {
+			s.Offset = 0
+		}
+	}
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	v /= float64(len(xs))
+	return m, math.Sqrt(v)
+}

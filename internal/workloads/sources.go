@@ -1,0 +1,496 @@
+package workloads
+
+import "fmt"
+
+// Each source builder emits deterministic MiniC. Input data comes from an
+// in-program linear congruential generator so no file I/O substrate is
+// needed; train and ref differ in array sizes, trip counts and seeds.
+
+// lcg is the shared pseudo-random helper embedded in every workload.
+const lcg = `
+int seed = %d;
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 2147483647;
+	return seed >> 7;
+}
+`
+
+// gzipSource: LZ77-style greedy dictionary compression — hash-head/prev
+// chains, match-length scans, branchy byte handling (164.gzip).
+func gzipSource(class InputClass) string {
+	n, seed := 12288, 9001
+	if class == Ref {
+		n, seed = 24576, 77003
+	}
+	const hsize = 4096
+	return fmt.Sprintf(lcg, seed) + fmt.Sprintf(`
+int data[%[1]d];
+int head[%[2]d];
+int prev[%[1]d];
+
+int main() {
+	int n = %[1]d;
+	// Semi-compressible input: periodic structure with sparse noise.
+	for (int i = 0; i < n; i = i + 1) {
+		int v = (i %% 97) + ((i >> 3) %% 31);
+		if (rnd() %% 11 == 0) {
+			v = rnd() %% 256;
+		}
+		data[i] = v %% 256;
+	}
+	int lits = 0;
+	int matches = 0;
+	int checksum = 0;
+	int pos = 0;
+	while (pos < n - 4) {
+		int h = (data[pos] * 33 + data[pos + 1] * 7 + data[pos + 2]) & %[3]d;
+		int cand = head[h] - 1;
+		head[h] = pos + 1;
+		prev[pos] = cand + 1;
+		int best = 0;
+		int chain = 0;
+		while (cand >= 0 && chain < 16) {
+			int len = 0;
+			while (len < 32 && pos + len < n && data[cand + len] == data[pos + len]) {
+				len = len + 1;
+			}
+			if (len > best) {
+				best = len;
+			}
+			cand = prev[cand] - 1;
+			chain = chain + 1;
+		}
+		if (best >= 3) {
+			matches = matches + 1;
+			checksum = checksum + best * 5;
+			pos = pos + best;
+		} else {
+			lits = lits + 1;
+			checksum = checksum ^ data[pos];
+			pos = pos + 1;
+		}
+	}
+	return (checksum + matches * 1000 + lits) & 1073741823;
+}
+`, n, hsize, hsize-1)
+}
+
+// vprSource: congestion-aware maze routing on a grid — wavefront expansion
+// with a circular queue and per-net congestion updates (175.vpr).
+func vprSource(class InputClass) string {
+	w, nets, seed := 32, 8, 5501
+	if class == Ref {
+		w, nets, seed = 40, 12, 31219
+	}
+	cells := w * w
+	return fmt.Sprintf(lcg, seed) + fmt.Sprintf(`
+int cost[%[1]d];
+int dist[%[1]d];
+int queue[%[2]d];
+int usage[%[1]d];
+
+int route(int src, int sink, int w, int cells) {
+	for (int i = 0; i < cells; i = i + 1) {
+		dist[i] = 1000000000;
+	}
+	int qh = 0;
+	int qt = 0;
+	dist[src] = 0;
+	queue[qt] = src;
+	qt = qt + 1;
+	int qcap = cells * 2;
+	while (qh < qt) {
+		int cur = queue[qh %% qcap];
+		qh = qh + 1;
+		if (cur == sink) {
+			qh = qt;
+		} else {
+			int d = dist[cur];
+			int x = cur %% w;
+			int y = cur / w;
+			for (int dir = 0; dir < 4; dir = dir + 1) {
+				int nx = x;
+				int ny = y;
+				if (dir == 0) { nx = x + 1; }
+				if (dir == 1) { nx = x - 1; }
+				if (dir == 2) { ny = y + 1; }
+				if (dir == 3) { ny = y - 1; }
+				if (nx >= 0 && nx < w && ny >= 0 && ny < w) {
+					int nc = ny * w + nx;
+					int nd = d + cost[nc] + usage[nc] * 3;
+					if (nd < dist[nc] && qt < qcap) {
+						dist[nc] = nd;
+						queue[qt %% qcap] = nc;
+						qt = qt + 1;
+					}
+				}
+			}
+		}
+	}
+	return dist[sink];
+}
+
+int main() {
+	int w = %[3]d;
+	int cells = %[4]d;
+	for (int i = 0; i < cells; i = i + 1) {
+		cost[i] = 1 + rnd() %% 4;
+		if (rnd() %% 13 == 0) {
+			cost[i] = 60;
+		}
+	}
+	int total = 0;
+	for (int net = 0; net < %[5]d; net = net + 1) {
+		int src = rnd() %% cells;
+		int sink = rnd() %% cells;
+		int c = route(src, sink, w, cells);
+		if (c < 1000000000) {
+			total = total + c;
+			// Mark congestion along a staircase approximation of the path.
+			int x0 = src %% w;
+			int y0 = src / w;
+			int x1 = sink %% w;
+			int y1 = sink / w;
+			while (x0 != x1 || y0 != y1) {
+				usage[y0 * w + x0] = usage[y0 * w + x0] + 1;
+				if (x0 < x1) { x0 = x0 + 1; }
+				else if (x0 > x1) { x0 = x0 - 1; }
+				else if (y0 < y1) { y0 = y0 + 1; }
+				else { y0 = y0 - 1; }
+			}
+		}
+	}
+	return total & 1073741823;
+}
+`, cells, cells*2, w, cells, nets)
+}
+
+// mesaSource: software rasterization with edge functions and a depth buffer
+// (177.mesa).
+func mesaSource(class InputClass) string {
+	w, tris, seed := 64, 60, 40087
+	if class == Ref {
+		w, tris, seed = 80, 100, 52361
+	}
+	pixels := w * w
+	return fmt.Sprintf(lcg, seed) + fmt.Sprintf(`
+int fb[%[1]d];
+int zb[%[1]d];
+
+int edge(int ax, int ay, int bx, int by, int px, int py) {
+	return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+}
+
+int main() {
+	int w = %[2]d;
+	for (int i = 0; i < %[1]d; i = i + 1) {
+		zb[i] = 1000000;
+	}
+	int drawn = 0;
+	for (int t = 0; t < %[3]d; t = t + 1) {
+		int x0 = rnd() %% w;
+		int y0 = rnd() %% w;
+		int x1 = (x0 + rnd() %% 24) %% w;
+		int y1 = (y0 + rnd() %% 24) %% w;
+		int x2 = (x0 + rnd() %% 24) %% w;
+		int y2 = (y0 + rnd() %% 24) %% w;
+		int z = 1 + rnd() %% 4096;
+		int color = rnd() %% 65536;
+		// Orient consistently.
+		int area = edge(x0, y0, x1, y1, x2, y2);
+		if (area < 0) {
+			int tx = x1; int ty = y1;
+			x1 = x2; y1 = y2;
+			x2 = tx; y2 = ty;
+			area = -area;
+		}
+		if (area > 0) {
+			int xmin = x0; int xmax = x0;
+			int ymin = y0; int ymax = y0;
+			if (x1 < xmin) { xmin = x1; }
+			if (x2 < xmin) { xmin = x2; }
+			if (x1 > xmax) { xmax = x1; }
+			if (x2 > xmax) { xmax = x2; }
+			if (y1 < ymin) { ymin = y1; }
+			if (y2 < ymin) { ymin = y2; }
+			if (y1 > ymax) { ymax = y1; }
+			if (y2 > ymax) { ymax = y2; }
+			// Incremental edge functions: evaluate at the row start, then
+			// step by the per-pixel deltas (classic rasterizer setup).
+			int d0x = y1 - y0; int d1x = y2 - y1; int d2x = y0 - y2;
+			for (int py = ymin; py <= ymax; py = py + 1) {
+				int e0 = edge(x0, y0, x1, y1, xmin, py);
+				int e1 = edge(x1, y1, x2, y2, xmin, py);
+				int e2 = edge(x2, y2, x0, y0, xmin, py);
+				for (int px = xmin; px <= xmax; px = px + 1) {
+					if (e0 >= 0 && e1 >= 0 && e2 >= 0) {
+						int idx = py * w + px;
+						int pz = z + (e0 * 7 + e1 * 3) / (area + 1);
+						if (pz < zb[idx]) {
+							zb[idx] = pz;
+							fb[idx] = color ^ (e2 & 255);
+							drawn = drawn + 1;
+						}
+					}
+					e0 = e0 - d0x;
+					e1 = e1 - d1x;
+					e2 = e2 - d2x;
+				}
+			}
+		}
+	}
+	int check = drawn;
+	for (int i = 0; i < %[1]d; i = i + 1) {
+		check = (check * 31 + fb[i]) & 1073741823;
+	}
+	return check;
+}
+`, pixels, w, tris)
+}
+
+// artSource: adaptive-resonance-style neural network — dense dot-product
+// inner loops over a weight matrix with winner-take-all updates (179.art).
+// Its regular, unrollable inner loop is the subject of the paper's Figure 3.
+func artSource(class InputClass) string {
+	neurons, in, iters, seed := 32, 128, 28, 60013
+	if class == Ref {
+		neurons, in, iters, seed = 48, 192, 28, 71993
+	}
+	return fmt.Sprintf(lcg, seed) + fmt.Sprintf(`
+int w[%[1]d];
+int input[%[2]d];
+int act[%[3]d];
+
+int main() {
+	int neurons = %[3]d;
+	int nin = %[2]d;
+	for (int i = 0; i < neurons * nin; i = i + 1) {
+		w[i] = rnd() %% 256;
+	}
+	int recognized = 0;
+	int check = 0;
+	for (int it = 0; it < %[4]d; it = it + 1) {
+		for (int i = 0; i < nin; i = i + 1) {
+			input[i] = (rnd() %% 256) + ((it * 53 + i * 11) %% 64);
+		}
+		// F1 -> F2 propagation: dense dot products.
+		for (int j = 0; j < neurons; j = j + 1) {
+			int s = 0;
+			int base = j * nin;
+			for (int i = 0; i < nin; i = i + 1) {
+				s = s + w[base + i] * input[i];
+			}
+			act[j] = s >> 8;
+		}
+		// Winner take all.
+		int win = 0;
+		for (int j = 1; j < neurons; j = j + 1) {
+			if (act[j] > act[win]) {
+				win = j;
+			}
+		}
+		// Vigilance test and resonance update of the winner's weights.
+		int vig = act[win] - (act[0] + act[neurons - 1]) / 2;
+		if (vig > 0) {
+			recognized = recognized + 1;
+			int base = win * nin;
+			for (int i = 0; i < nin; i = i + 1) {
+				w[base + i] = (w[base + i] * 3 + input[i]) / 4;
+			}
+		}
+		check = (check + act[win]) & 1073741823;
+	}
+	return check + recognized * 1000;
+}
+`, neurons*in, in, neurons, iters)
+}
+
+// mcfSource: network-simplex arc pricing — sweeps over an arc list with
+// data-dependent accesses to node potentials far larger than the L1
+// (181.mcf, the suite's memory-bound representative).
+func mcfSource(class InputClass) string {
+	nodes, arcs, iters, seed := 24576, 16384, 2, 81001
+	if class == Ref {
+		nodes, arcs, iters, seed = 65536, 24576, 3, 90017
+	}
+	return fmt.Sprintf(lcg, seed) + fmt.Sprintf(`
+int tail[%[1]d];
+int headn[%[1]d];
+int cost[%[1]d];
+int pot[%[2]d];
+
+int main() {
+	int arcs = %[3]d;
+	int nodes = %[4]d;
+	for (int a = 0; a < arcs; a = a + 1) {
+		tail[a] = rnd() %% nodes;
+		headn[a] = rnd() %% nodes;
+		cost[a] = rnd() %% 1000 - 400;
+	}
+	for (int v = 0; v < nodes; v = v + 1) {
+		pot[v] = rnd() %% 2048;
+	}
+	int negative = 0;
+	int check = 0;
+	for (int it = 0; it < %[5]d; it = it + 1) {
+		for (int a = 0; a < arcs; a = a + 1) {
+			int t = tail[a];
+			int h = headn[a];
+			int rc = cost[a] + pot[t] - pot[h];
+			if (rc < 0) {
+				negative = negative + 1;
+				pot[h] = pot[h] + rc / 2;
+				check = (check - rc) & 1073741823;
+			} else {
+				check = (check + (rc & 15)) & 1073741823;
+			}
+		}
+	}
+	return (check + negative) & 1073741823;
+}
+`, arcs, nodes, arcs, nodes, iters)
+}
+
+// vortexSource: an in-memory object database — chained hash table with
+// small accessor and comparison functions on hot lookup paths, making it
+// the suite's call-intensive, inlining-sensitive program (255.vortex).
+func vortexSource(class InputClass) string {
+	records, lookups, seed := 4096, 9000, 33301
+	if class == Ref {
+		records, lookups, seed = 8192, 14000, 44809
+	}
+	buckets := 1024
+	return fmt.Sprintf(lcg, seed) + fmt.Sprintf(`
+int buckets[%[1]d];
+int keys[%[2]d];
+int vals[%[2]d];
+int nxt[%[2]d];
+int count = 0;
+
+int hashKey(int k) {
+	int h = k * 40503;
+	h = h ^ (h >> 7);
+	return h & %[3]d;
+}
+
+int keyAt(int i) {
+	return keys[i];
+}
+
+int valAt(int i) {
+	return vals[i];
+}
+
+int insert(int k, int v) {
+	int b = hashKey(k);
+	int i = count;
+	keys[i] = k;
+	vals[i] = v;
+	nxt[i] = buckets[b];
+	buckets[b] = i + 1;
+	count = count + 1;
+	return i;
+}
+
+int lookup(int k) {
+	int b = hashKey(k);
+	int cur = buckets[b] - 1;
+	while (cur >= 0) {
+		if (keyAt(cur) == k) {
+			return valAt(cur);
+		}
+		cur = nxt[cur] - 1;
+	}
+	return -1;
+}
+
+int main() {
+	int records = %[4]d;
+	for (int r = 0; r < records; r = r + 1) {
+		insert(rnd() %% (records * 4), r * 3 + 1);
+	}
+	int hits = 0;
+	int sum = 0;
+	for (int q = 0; q < %[5]d; q = q + 1) {
+		int v = lookup(rnd() %% (records * 4));
+		if (v >= 0) {
+			hits = hits + 1;
+			sum = (sum + v) & 1073741823;
+		}
+	}
+	return (sum + hits * 7) & 1073741823;
+}
+`, buckets, records, buckets-1, records, lookups)
+}
+
+// bzip2Source: block sorting — shell sort over suffix indices with
+// data-dependent comparisons, then a move-to-front pass (256.bzip2).
+func bzip2Source(class InputClass) string {
+	n, seed := 1024, 15101
+	if class == Ref {
+		n, seed = 1536, 27803
+	}
+	return fmt.Sprintf(lcg, seed) + fmt.Sprintf(`
+int block[%[1]d];
+int idx[%[1]d];
+int mtf[256];
+
+int cmpSuffix(int a, int b, int n) {
+	for (int d = 0; d < 24; d = d + 1) {
+		int ca = block[(a + d) %% n];
+		int cb = block[(b + d) %% n];
+		if (ca != cb) {
+			return ca - cb;
+		}
+	}
+	return a - b;
+}
+
+int main() {
+	int n = %[2]d;
+	for (int i = 0; i < n; i = i + 1) {
+		int v = (i %% 61) + (i / 61);
+		if (rnd() %% 7 == 0) {
+			v = rnd() %% 200;
+		}
+		block[i] = v %% 256;
+		idx[i] = i;
+	}
+	// Shell sort of suffix indices.
+	int gap = 1;
+	while (gap < n / 3) {
+		gap = gap * 3 + 1;
+	}
+	while (gap >= 1) {
+		for (int i = gap; i < n; i = i + 1) {
+			int tmp = idx[i];
+			int j = i;
+			while (j >= gap && cmpSuffix(idx[j - gap], tmp, n) > 0) {
+				idx[j] = idx[j - gap];
+				j = j - gap;
+			}
+			idx[j] = tmp;
+		}
+		gap = gap / 3;
+	}
+	// Move-to-front of the last column.
+	for (int s = 0; s < 256; s = s + 1) {
+		mtf[s] = s;
+	}
+	int check = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		int c = block[(idx[i] + n - 1) %% n];
+		int r = 0;
+		while (mtf[r] != c) {
+			r = r + 1;
+		}
+		for (int s = r; s > 0; s = s - 1) {
+			mtf[s] = mtf[s - 1];
+		}
+		mtf[0] = c;
+		check = (check * 17 + r) & 1073741823;
+	}
+	return check;
+}
+`, n, n)
+}

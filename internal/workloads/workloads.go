@@ -1,0 +1,122 @@
+// Package workloads provides the seven benchmark programs used throughout
+// the evaluation, standing in for the paper's SPEC CPU2000 program-input
+// pairs. Each MiniC program reproduces the dominant computational character
+// of its namesake — compression dictionary matching for gzip, maze routing
+// for vpr, rasterization for mesa, neural-network resonance for art, network
+// simplex pricing for mcf, an object database for vortex and block sorting
+// for bzip2 — at simulator-friendly scale, with deterministic inputs
+// generated in-program from a seeded linear congruential generator.
+//
+// Every workload comes in two input classes mirroring SPEC's train and ref
+// sets: same code, different data sizes and seeds.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// InputClass selects the input scale.
+type InputClass string
+
+const (
+	// Train is the smaller profiling input (the paper builds models on
+	// train inputs in the profile-guided scenario of Table 7).
+	Train InputClass = "train"
+	// Ref is the larger reference input.
+	Ref InputClass = "ref"
+)
+
+// Workload is one benchmark program at one input class.
+type Workload struct {
+	Name   string // e.g. "164.gzip"
+	Input  string // input label, e.g. "graphic" or "train"
+	Class  InputClass
+	Source string // MiniC source text
+}
+
+// Key returns "name-input", e.g. "179.art-train".
+func (w Workload) Key() string { return w.Name + "-" + w.Input }
+
+// Parse returns the checked AST of the workload source. It panics on error:
+// workload sources are compiled into the binary and covered by tests.
+func (w Workload) Parse() *lang.Program { return lang.MustParse(w.Source) }
+
+// Names lists the seven benchmarks in the paper's order.
+func Names() []string {
+	return []string{
+		"164.gzip", "175.vpr", "177.mesa", "179.art",
+		"181.mcf", "255.vortex", "256.bzip2",
+	}
+}
+
+// inputLabel mirrors the paper's program-input naming (Table 3/7).
+func inputLabel(name string, class InputClass) string {
+	switch name {
+	case "164.gzip", "256.bzip2":
+		if class == Train {
+			return "graphic"
+		}
+		return "graphic-ref"
+	case "175.vpr":
+		if class == Train {
+			return "route"
+		}
+		return "route-ref"
+	case "255.vortex":
+		if class == Train {
+			return "lendian1"
+		}
+		return "lendian1-ref"
+	default:
+		return string(class)
+	}
+}
+
+// Get returns the named workload at the given input class.
+func Get(name string, class InputClass) (Workload, error) {
+	var src string
+	switch name {
+	case "164.gzip":
+		src = gzipSource(class)
+	case "175.vpr":
+		src = vprSource(class)
+	case "177.mesa":
+		src = mesaSource(class)
+	case "179.art":
+		src = artSource(class)
+	case "181.mcf":
+		src = mcfSource(class)
+	case "255.vortex":
+		src = vortexSource(class)
+	case "256.bzip2":
+		src = bzip2Source(class)
+	default:
+		return Workload{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+	}
+	return Workload{
+		Name:   name,
+		Input:  inputLabel(name, class),
+		Class:  class,
+		Source: src,
+	}, nil
+}
+
+// MustGet is Get that panics on error.
+func MustGet(name string, class InputClass) Workload {
+	w, err := Get(name, class)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// All returns the full suite at one input class, in the paper's order.
+func All(class InputClass) []Workload {
+	var ws []Workload
+	for _, n := range Names() {
+		ws = append(ws, MustGet(n, class))
+	}
+	return ws
+}
