@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/doe"
@@ -218,6 +220,32 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		instrs = st.Instructions
 	}
 	b.ReportMetric(float64(instrs), "instrs/op")
+}
+
+// BenchmarkFarmSpeedup builds the same cold-cache dataset serially and on
+// the full worker pool and reports the wall-clock ratio — the measurement
+// farm's headline number. On a single-core host the ratio is ~1; it should
+// approach min(GOMAXPROCS, dataset size) on multicore.
+func BenchmarkFarmSpeedup(b *testing.B) {
+	w := workloads.MustGet("179.art", workloads.Train)
+	scale := exp.Scale{Name: "farmbench", TrainPoints: 16, TestPoints: 4}
+	build := func(workers int) time.Duration {
+		h := exp.NewHarness(scale) // no CacheDir: every build is cold
+		h.Workers = workers
+		defer h.Close()
+		start := time.Now()
+		if _, err := h.BuildDataset(w, h.TrainDesign()); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		serial = build(1)
+		parallel = build(runtime.GOMAXPROCS(0))
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-x")
 }
 
 // BenchmarkCompile measures full-pipeline compilation speed on the largest

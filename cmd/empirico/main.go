@@ -33,6 +33,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed for designs and search")
 		cacheDir = flag.String("cache", "", "directory for the measurement cache")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
+		workers  = flag.Int("workers", 0, "measurement farm workers (0 = GOMAXPROCS)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -44,9 +45,18 @@ func main() {
 	h := exp.NewHarness(sc)
 	h.Seed = *seed
 	h.CacheDir = *cacheDir
+	h.Workers = *workers
 	if !*quiet {
 		h.Log = os.Stderr
 	}
+	defer func() {
+		if st := h.FarmStats(); st.Workers > 0 && !*quiet {
+			fmt.Fprintln(os.Stderr, st)
+		}
+		if err := h.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	var names []string
 	if *programs != "" {

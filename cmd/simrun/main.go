@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/compiler"
 	"repro/internal/isa"
@@ -33,6 +34,7 @@ func main() {
 		unroll  = flag.Bool("unroll", false, "additionally enable -funroll-loops")
 		cfgName = flag.String("config", "typical", "configuration: constrained|typical|aggressive")
 		useSam  = flag.Bool("smarts", false, "use SMARTS sampled simulation")
+		workers = flag.Int("workers", 1, "with -smarts: pool this many offset-shifted sample sets, drawn concurrently (0 = GOMAXPROCS)")
 		trace   = flag.Int64("trace", 0, "print pipeline timing for the first N instructions")
 		budget  = flag.Int64("max-instrs", 2_000_000_000, "instruction budget")
 
@@ -135,11 +137,15 @@ func main() {
 	}
 
 	if *useSam {
-		res, err := smarts.Run(bin, cfg, smarts.DefaultSampler(), *budget)
+		n := *workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		res, err := smarts.RunParallel(bin, cfg, smarts.DefaultSampler(), *budget, n)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s on %s (SMARTS)\n", name, *cfgName)
+		fmt.Printf("%s on %s (SMARTS, %d sample sets)\n", name, *cfgName, n)
 		fmt.Printf("  estimated cycles: %.0f\n", res.EstimatedCycles)
 		fmt.Printf("  instructions:     %d\n", res.Instructions)
 		fmt.Printf("  mean CPI:         %.3f (99.7%% CI ±%.2f%%)\n", res.MeanCPI, 100*res.RelCI997)

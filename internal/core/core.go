@@ -21,6 +21,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/doe"
 	"repro/internal/exp"
+	"repro/internal/farm"
 	"repro/internal/isa"
 	"repro/internal/model"
 	"repro/internal/search"
@@ -62,6 +63,11 @@ type (
 	Sampler = smarts.Sampler
 	// InputClass selects train or ref inputs.
 	InputClass = workloads.InputClass
+	// FarmStats reports the measurement farm's instrumentation counters
+	// (sims executed, cache hits, coalesced requests, utilization).
+	FarmStats = farm.Stats
+	// MeasureJob is one (workload, design-point) measurement request.
+	MeasureJob = farm.Job
 )
 
 // Input classes.
@@ -109,6 +115,13 @@ func Simulate(prog *Program, cfg Config, maxInstrs int64) (SimStats, error) {
 // small, quantified estimation error for large time savings.
 func SimulateSampled(prog *Program, cfg Config, s Sampler, maxInstrs int64) (*smarts.Result, error) {
 	return smarts.Run(prog, cfg, s, maxInstrs)
+}
+
+// SimulateSampledParallel pools `workers` offset-shifted SMARTS sample sets
+// drawn concurrently, tightening the confidence interval at roughly a
+// single run's wall time on a multicore host.
+func SimulateSampledParallel(prog *Program, cfg Config, s Sampler, maxInstrs int64, workers int) (*smarts.Result, error) {
+	return smarts.RunParallel(prog, cfg, s, maxInstrs, workers)
 }
 
 // DefaultSampler returns the paper's SMARTS parameters (1000-instruction

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/doe"
+	"repro/internal/farm"
 	"repro/internal/linalg"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -36,20 +37,33 @@ func (h *Harness) Fig3() (string, *Fig3Result, error) {
 	icaches := []int{8, 16, 32, 64, 128}
 
 	base := sim.DefaultConfig()
+	sweepPoint := func(uf, ic int) doe.Point {
+		cfg := base
+		cfg.ICacheKB = ic
+		opts := compiler.O2()
+		if uf > 1 {
+			opts.UnrollLoops = true
+			opts.MaxUnrollTimes = uf
+		}
+		// Clamp heuristics into the modeled space (O2 defaults are
+		// in range already; unroll factor is the swept variable).
+		return doe.JoinPoint(doe.FromOptions(opts), doe.FromConfig(cfg))
+	}
+
+	// Run the whole sweep through the farm in parallel, then assemble the
+	// grid from the store in sweep order.
+	var jobs []farm.Job
+	for _, ic := range icaches {
+		for _, uf := range factors {
+			jobs = append(jobs, farm.Job{Workload: w, Point: sweepPoint(uf, ic)})
+		}
+	}
+	h.Prefetch(jobs)
+
 	res := &Fig3Result{LinearPred8KB: map[int]float64{}}
 	for _, ic := range icaches {
 		for _, uf := range factors {
-			cfg := base
-			cfg.ICacheKB = ic
-			opts := compiler.O2()
-			if uf > 1 {
-				opts.UnrollLoops = true
-				opts.MaxUnrollTimes = uf
-			}
-			point := doe.JoinPoint(doe.FromOptions(opts), doe.FromConfig(cfg))
-			// Clamp heuristics into the modeled space (O2 defaults are
-			// in range already; unroll factor is the swept variable).
-			cycles, err := h.MeasureCycles(w, point)
+			cycles, err := h.MeasureCycles(w, sweepPoint(uf, ic))
 			if err != nil {
 				return "", nil, err
 			}

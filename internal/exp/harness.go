@@ -6,19 +6,17 @@
 package exp
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"math/rand"
-	"os"
 	"path/filepath"
 	"sync"
 
-	"repro/internal/compiler"
 	"repro/internal/doe"
+	"repro/internal/farm"
 	"repro/internal/model"
-	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -61,12 +59,18 @@ func ScaleByName(name string) (Scale, error) {
 	return Scale{}, fmt.Errorf("exp: unknown scale %q (quick|default|paper)", name)
 }
 
-// Harness runs measurements with caching and deterministic seeding.
+// Harness runs measurements with caching and deterministic seeding. All
+// measurement flows through an internal farm.Farm: a bounded worker pool
+// with single-flight deduplication and a durable, journaled result store,
+// so concurrent callers never duplicate a compile+simulate and parallel
+// runs are bit-for-bit identical to serial ones (results are keyed by
+// point, which is order-independent).
 type Harness struct {
 	Scale Scale
 	Seed  int64
 	// CacheDir, when non-empty, persists measurements to
-	// <CacheDir>/measurements-<scale>.json across runs.
+	// <CacheDir>/measurements-<scale>.json (plus a crash-recovery journal
+	// alongside it) across runs.
 	CacheDir string
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
@@ -75,10 +79,13 @@ type Harness struct {
 	// loops). Zero means the default of 500M.
 	MaxInstrs int64
 
-	mu     sync.Mutex
-	cache  map[string]float64
-	loaded bool
-	space  *doe.Space
+	// Workers bounds the measurement farm's concurrency. Zero means
+	// runtime.GOMAXPROCS(0); one reproduces the serial path.
+	Workers int
+
+	mu    sync.Mutex
+	farm  *farm.Farm
+	space *doe.Space
 }
 
 // NewHarness returns a harness at the given scale with seed 1.
@@ -104,103 +111,88 @@ func (h *Harness) cachePath() string {
 	return filepath.Join(h.CacheDir, "measurements-"+h.Scale.Name+".json")
 }
 
-func (h *Harness) loadCache() {
-	if h.loaded {
-		return
-	}
-	h.loaded = true
-	if h.cache == nil {
-		h.cache = map[string]float64{}
-	}
-	if h.CacheDir == "" {
-		return
-	}
-	data, err := os.ReadFile(h.cachePath())
-	if err != nil {
-		return
-	}
-	var m map[string]float64
-	if json.Unmarshal(data, &m) == nil {
-		for k, v := range m {
-			h.cache[k] = v
-		}
-	}
-}
-
-// SaveCache persists the measurement cache if CacheDir is set.
-func (h *Harness) SaveCache() error {
+// Farm returns the harness's measurement farm, creating it (and loading the
+// durable store when CacheDir is set) on first use. Configuration fields
+// (CacheDir, Workers, MaxInstrs, Log) must be set before the first
+// measurement.
+func (h *Harness) Farm() *farm.Farm {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.CacheDir == "" || h.cache == nil {
-		return nil
+	if h.farm != nil {
+		return h.farm
 	}
-	if err := os.MkdirAll(h.CacheDir, 0o755); err != nil {
-		return err
+	store := farm.MemStore()
+	if h.CacheDir != "" {
+		s, err := farm.Open(h.cachePath(), h.Log)
+		if err != nil {
+			// A cache is an optimization; run without durability rather
+			// than fail the experiment.
+			h.logf("cache open failed (running without persistence): %v", err)
+		} else {
+			store = s
+		}
 	}
-	data, err := json.Marshal(h.cache)
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(h.cachePath(), data, 0o644)
+	h.farm = farm.New(farm.Options{
+		Workers:   h.Workers,
+		Store:     store,
+		MaxInstrs: h.MaxInstrs,
+		Log:       h.Log,
+	})
+	return h.farm
 }
 
-func pointKey(w workloads.Workload, p doe.Point) string {
-	h := fnv.New64a()
-	// The source text participates in the key so workload edits (and the
-	// version tag so compiler/simulator semantic changes) invalidate stale
-	// cached measurements.
-	fmt.Fprintf(h, "v3|%s|%s|", w.Key(), w.Source)
-	for _, v := range p {
-		fmt.Fprintf(h, "%d,", v)
+// FarmStats snapshots the measurement farm's instrumentation counters. A
+// zero Stats (Workers == 0) means no measurement has run yet.
+func (h *Harness) FarmStats() farm.Stats {
+	h.mu.Lock()
+	f := h.farm
+	h.mu.Unlock()
+	if f == nil {
+		return farm.Stats{}
 	}
-	return fmt.Sprintf("%s|%x", w.Key(), h.Sum64())
+	return f.Stats()
+}
+
+// SaveCache checkpoints the measurement store if CacheDir is set: the full
+// map is written to a temp file and atomically renamed over the checkpoint,
+// then the journal is truncated, so a crash never loses or corrupts it.
+func (h *Harness) SaveCache() error {
+	if h.CacheDir == "" {
+		h.mu.Lock()
+		created := h.farm != nil
+		h.mu.Unlock()
+		if !created {
+			return nil
+		}
+	}
+	return h.Farm().Checkpoint()
+}
+
+// Close drains the farm's workers and flushes the store. The harness
+// rejects new measurements afterwards.
+func (h *Harness) Close() error {
+	h.mu.Lock()
+	f := h.farm
+	h.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f.Close()
 }
 
 // MeasureCycles compiles workload w at the compiler settings in joint-space
 // point p and simulates it on the microarchitecture in p, returning the
-// execution time in cycles. Results are memoized.
+// execution time in cycles. Results are memoized in the farm's store and
+// concurrent requests for the same point coalesce into one execution.
 func (h *Harness) MeasureCycles(w workloads.Workload, p doe.Point) (float64, error) {
-	return h.measure(w, p, "")
+	return h.Farm().Measure(context.Background(), w, p, farm.Cycles)
 }
 
 // MeasureEnergy is MeasureCycles for the activity-based energy estimate —
 // the paper notes the methodology applies unchanged to responses such as
 // power consumption.
 func (h *Harness) MeasureEnergy(w workloads.Workload, p doe.Point) (float64, error) {
-	return h.measure(w, p, "|energy")
-}
-
-func (h *Harness) measure(w workloads.Workload, p doe.Point, suffix string) (float64, error) {
-	h.mu.Lock()
-	h.loadCache()
-	key := pointKey(w, p)
-	if v, ok := h.cache[key+suffix]; ok {
-		h.mu.Unlock()
-		return v, nil
-	}
-	h.mu.Unlock()
-
-	cfg := doe.ToConfig(p)
-	opts := doe.ToOptions(p, cfg.IssueWidth)
-	prog, _, err := compiler.Compile(w.Parse(), opts)
-	if err != nil {
-		return 0, fmt.Errorf("exp: %s: %w", w.Key(), err)
-	}
-	budget := h.MaxInstrs
-	if budget == 0 {
-		budget = 500_000_000
-	}
-	st, err := sim.Simulate(prog, cfg, budget)
-	if err != nil {
-		return 0, fmt.Errorf("exp: %s: %w", w.Key(), err)
-	}
-
-	h.mu.Lock()
-	h.cache[key] = float64(st.Cycles)
-	h.cache[key+"|energy"] = st.Energy
-	v := h.cache[key+suffix]
-	h.mu.Unlock()
-	return v, nil
+	return h.Farm().Measure(context.Background(), w, p, farm.Energy)
 }
 
 // rngFor derives a deterministic sub-generator for a named purpose.
@@ -224,23 +216,44 @@ func (h *Harness) TestDesign() []doe.Point {
 	return h.Space().LatinHypercube(h.Scale.TestPoints, h.rngFor("test-design"))
 }
 
-// BuildDataset measures the workload at every point and returns the coded
-// dataset.
+// BuildDataset measures the workload at every point — in parallel, on the
+// farm's worker pool — and returns the coded dataset. The dataset is
+// bit-identical regardless of worker count: values are keyed by point and
+// assembled in input order.
 func (h *Harness) BuildDataset(w workloads.Workload, points []doe.Point) (*model.Dataset, error) {
-	xs := make([][]float64, len(points))
-	ys := make([]float64, len(points))
-	for i, p := range points {
-		y, err := h.MeasureCycles(w, p)
-		if err != nil {
-			return nil, err
-		}
-		xs[i] = h.Space().Code(p)
-		ys[i] = y
-		if (i+1)%25 == 0 {
-			h.logf("  %s: %d/%d points measured", w.Key(), i+1, len(points))
-		}
+	before := h.Farm().Stats()
+	ys, err := h.Farm().MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
 	}
+	xs := make([][]float64, len(points))
+	for i, p := range points {
+		xs[i] = h.Space().Code(p)
+	}
+	after := h.Farm().Stats()
+	h.logf("  %s: %d points measured (%d simulated, %d cached, %d coalesced)",
+		w.Key(), len(points),
+		after.SimsExecuted-before.SimsExecuted,
+		after.CacheHits-before.CacheHits,
+		after.Coalesced-before.Coalesced)
 	return model.NewDataset(xs, ys)
+}
+
+// Prefetch submits measurement jobs to the farm and waits for all of them,
+// warming the result store so a subsequent serial pass is pure cache hits.
+// Errors are deliberately dropped: the serial pass re-requests every point
+// and reports failures in its own deterministic (input) order.
+func (h *Harness) Prefetch(jobs []farm.Job) {
+	f := h.Farm()
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j farm.Job) {
+			defer wg.Done()
+			_, _ = f.Do(context.Background(), j)
+		}(j)
+	}
+	wg.Wait()
 }
 
 // ProgramData bundles the train/test measurements for one program.

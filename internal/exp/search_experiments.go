@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/doe"
+	"repro/internal/farm"
 	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -173,6 +174,23 @@ func (s *Study) Fig7(results []SearchResult, configs []NamedConfig) (string, []S
 		wlByKey[pd.Workload.Key()] = pd.Workload
 	}
 
+	// Warm the farm in parallel; the loop below then reads the store and
+	// keeps its deterministic row order and error selection.
+	var jobs []farm.Job
+	for _, r := range results {
+		w, ok := wlByKey[r.Program]
+		if !ok {
+			continue
+		}
+		march := doe.FromConfig(cfgByName[r.Config])
+		jobs = append(jobs,
+			farm.Job{Workload: w, Point: doe.JoinPoint(doe.FromOptions(compiler.O2()), march)},
+			farm.Job{Workload: w, Point: doe.JoinPoint(doe.FromOptions(compiler.O3()), march)},
+			farm.Job{Workload: w, Point: r.Point},
+		)
+	}
+	s.Harness.Prefetch(jobs)
+
 	var rows []SpeedupRow
 	t := newTable("Figure 7: speedup over -O2 at model-prescribed settings")
 	t.row("Benchmark-Input", "Config", "Predicted", "Actual", "O3 actual")
@@ -235,6 +253,20 @@ func (s *Study) Table7(results []SearchResult, configs []NamedConfig) (string, [
 	for _, nc := range configs {
 		cfgByName[nc.Name] = nc.Config
 	}
+
+	var jobs []farm.Job
+	for _, r := range results {
+		w, err := workloads.Get(strings.SplitN(r.Program, "-", 2)[0], workloads.Ref)
+		if err != nil {
+			continue
+		}
+		march := doe.FromConfig(cfgByName[r.Config])
+		jobs = append(jobs,
+			farm.Job{Workload: w, Point: doe.JoinPoint(doe.FromOptions(compiler.O2()), march)},
+			farm.Job{Workload: w, Point: doe.JoinPoint(r.Point[:doe.NumCompilerVars], march)},
+		)
+	}
+	s.Harness.Prefetch(jobs)
 
 	speedups := map[string]map[string]float64{}
 	var progOrder []string

@@ -1,0 +1,115 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"syscall"
+)
+
+// Class buckets job failures for the retry policy: compile errors are
+// deterministic and permanent, simulation budget overruns are permanent but
+// reported distinctly (they usually mean a miscompile produced an infinite
+// loop), and store/IO hiccups are transient and worth a bounded retry.
+type Class int
+
+const (
+	// ClassPermanent errors fail the job immediately: retrying a
+	// deterministic compile or simulation cannot change the outcome.
+	ClassPermanent Class = iota
+	// ClassBudget marks a simulation that exceeded its instruction budget.
+	// Permanent like a compile error, but surfaced separately in stats and
+	// logs because it points at the budget knob rather than the program.
+	ClassBudget
+	// ClassTransient errors (journal write failures, other IO) are retried
+	// up to Options.MaxRetries with backoff.
+	ClassTransient
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassBudget:
+		return "budget"
+	case ClassTransient:
+		return "transient"
+	}
+	return "permanent"
+}
+
+// CompileError wraps a failure of the compile stage of a job.
+type CompileError struct {
+	Workload string
+	Err      error
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("farm: compile %s: %v", e.Workload, e.Err)
+}
+
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// SimError wraps a failure of the simulate stage of a job. Budget is set
+// when the simulation ran out of its instruction budget.
+type SimError struct {
+	Workload string
+	Budget   bool
+	Err      error
+}
+
+func (e *SimError) Error() string {
+	if e.Budget {
+		return fmt.Sprintf("farm: simulate %s: budget overrun: %v", e.Workload, e.Err)
+	}
+	return fmt.Sprintf("farm: simulate %s: %v", e.Workload, e.Err)
+}
+
+func (e *SimError) Unwrap() error { return e.Err }
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks err as retryable regardless of its underlying type.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// Classify maps an error to its retry class. Unrecognized errors are
+// permanent: the compiler and simulator are deterministic, so an unknown
+// failure will recur on retry.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassPermanent
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassPermanent
+	}
+	var ce *CompileError
+	if errors.As(err, &ce) {
+		return ClassPermanent
+	}
+	var se *SimError
+	if errors.As(err, &se) {
+		if se.Budget {
+			return ClassBudget
+		}
+		return ClassPermanent
+	}
+	var te *transientError
+	if errors.As(err, &te) {
+		return ClassTransient
+	}
+	// Filesystem and syscall errors come from the result store; the disk
+	// may recover (full tmpfs, interrupted write), so retry.
+	var pe *fs.PathError
+	var errno syscall.Errno
+	if errors.As(err, &pe) || errors.As(err, &errno) {
+		return ClassTransient
+	}
+	return ClassPermanent
+}

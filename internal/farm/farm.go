@@ -1,0 +1,387 @@
+// Package farm is the measurement-execution engine of the reproduction: it
+// accepts (workload, design-point) jobs and runs the compile+simulate
+// pipeline for them on a bounded worker pool. Three properties make it the
+// single path every measurement takes:
+//
+//   - single-flight deduplication: two callers asking for the same point
+//     trigger one execution, with the second caller waiting on the first's
+//     result (the pre-farm harness dropped its lock during simulation and
+//     silently duplicated concurrent work);
+//   - a durable result store (Store): completed measurements are journaled
+//     as they finish and checkpointed via temp-file + atomic rename, staying
+//     read-compatible with the original measurements-*.json cache format;
+//   - bounded retry with error classification and context cancellation:
+//     compile errors fail fast, budget overruns are reported, transient
+//     store IO retries, and a cancelled context drains workers cleanly.
+//
+// Results are keyed by point and order-independent, so a parallel run is
+// bit-for-bit identical to a serial one (DESIGN.md decision 7).
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/doe"
+	"repro/internal/workloads"
+)
+
+// Options configures a Farm.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Store holds completed measurements; nil means a fresh MemStore.
+	Store *Store
+	// Measure executes jobs; nil means Executor(MaxInstrs).
+	Measure MeasureFunc
+	// MaxInstrs is the per-simulation instruction budget for the default
+	// executor (0 = 500M).
+	MaxInstrs int64
+	// MaxRetries bounds retries of transient failures per job (0 = 3,
+	// negative = no retries).
+	MaxRetries int
+	// RetryDelay is the base backoff between transient retries, growing
+	// linearly with the attempt (0 = 10ms).
+	RetryDelay time.Duration
+	// Log receives progress and recovery lines; nil silences them.
+	Log io.Writer
+}
+
+// Farm is a concurrent measurement farm. Create with New, submit with
+// Measure or MeasureBatch, and Close when done to flush the store.
+type Farm struct {
+	opts    Options
+	workers int
+	retries int
+	delay   time.Duration
+	measure MeasureFunc
+	store   *Store
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*task
+	inflight map[string]*task
+	closed   bool
+	wg       sync.WaitGroup
+
+	start time.Time
+	hits,
+	misses,
+	coalesced,
+	sims,
+	instrs,
+	retried,
+	budgetOverruns,
+	failures atomic.Int64
+	busyNanos  []atomic.Int64 // per worker
+	workerJobs []atomic.Int64
+}
+
+// task is one in-flight execution; all callers for the same key share it.
+type task struct {
+	job Job
+	key string
+	// ctx is the first submitter's context: cancellation of the original
+	// caller cancels the shared execution (later joiners still bail on
+	// their own contexts while waiting).
+	ctx  context.Context
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// New starts a farm with opts.Workers workers. The pool runs until Close.
+func New(opts Options) *Farm {
+	f := &Farm{
+		opts:     opts,
+		workers:  opts.Workers,
+		retries:  opts.MaxRetries,
+		delay:    opts.RetryDelay,
+		measure:  opts.Measure,
+		store:    opts.Store,
+		inflight: map[string]*task{},
+		start:    time.Now(),
+	}
+	if f.workers <= 0 {
+		f.workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case f.retries == 0:
+		f.retries = 3
+	case f.retries < 0:
+		f.retries = 0
+	}
+	if f.delay == 0 {
+		f.delay = 10 * time.Millisecond
+	}
+	if f.measure == nil {
+		f.measure = Executor(opts.MaxInstrs)
+	}
+	if f.store == nil {
+		f.store = MemStore()
+	}
+	f.cond = sync.NewCond(&f.mu)
+	f.busyNanos = make([]atomic.Int64, f.workers)
+	f.workerJobs = make([]atomic.Int64, f.workers)
+	f.wg.Add(f.workers)
+	for i := 0; i < f.workers; i++ {
+		go f.worker(i)
+	}
+	return f
+}
+
+func (f *Farm) logf(format string, args ...interface{}) {
+	if f.opts.Log != nil {
+		fmt.Fprintf(f.opts.Log, format+"\n", args...)
+	}
+}
+
+// Store exposes the farm's result store (for checkpointing and inspection).
+func (f *Farm) Store() *Store { return f.store }
+
+// Measure returns the requested response of workload w at point p, executing
+// the compile+simulate pipeline at most once per distinct point regardless
+// of how many goroutines ask. It blocks until the result is available or ctx
+// is cancelled.
+func (f *Farm) Measure(ctx context.Context, w workloads.Workload, p doe.Point, resp Response) (float64, error) {
+	res, err := f.Do(ctx, Job{Workload: w, Point: p})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value(res), nil
+}
+
+// Do runs one job through the cache, single-flight and worker-pool layers
+// and returns its full result.
+func (f *Farm) Do(ctx context.Context, job Job) (Result, error) {
+	key := Key(job.Workload, job.Point)
+	if c, e, ok := f.store.Get2(key, EnergyKey(key)); ok {
+		f.hits.Add(1)
+		return Result{Cycles: c, Energy: e}, nil
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return Result{}, errors.New("farm: closed")
+	}
+	t, shared := f.inflight[key]
+	if shared {
+		f.coalesced.Add(1)
+	} else {
+		t = &task{job: job, key: key, ctx: ctx, done: make(chan struct{})}
+		f.inflight[key] = t
+		f.queue = append(f.queue, t)
+		f.misses.Add(1)
+		f.cond.Signal()
+	}
+	f.mu.Unlock()
+	select {
+	case <-t.done:
+		return t.res, t.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// MeasureBatch measures w at every point, saturating the worker pool, and
+// returns the responses in input order. On failure it returns the error of
+// the earliest failing point (by input index), matching the serial path's
+// error selection so parallel and serial runs are indistinguishable.
+func (f *Farm) MeasureBatch(ctx context.Context, w workloads.Workload, points []doe.Point, resp Response) ([]float64, error) {
+	out := make([]float64, len(points))
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p doe.Point) {
+			defer wg.Done()
+			out[i], errs[i] = f.Measure(ctx, w, p, resp)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (f *Farm) worker(id int) {
+	defer f.wg.Done()
+	for {
+		f.mu.Lock()
+		for len(f.queue) == 0 && !f.closed {
+			f.cond.Wait()
+		}
+		if len(f.queue) == 0 {
+			// Closed with an empty queue: the pool has drained.
+			f.mu.Unlock()
+			return
+		}
+		t := f.queue[0]
+		f.queue = f.queue[1:]
+		f.mu.Unlock()
+		start := time.Now()
+		f.run(t)
+		f.busyNanos[id].Add(time.Since(start).Nanoseconds())
+		f.workerJobs[id].Add(1)
+	}
+}
+
+// run executes one task with the retry policy and publishes the result.
+func (f *Farm) run(t *task) {
+	res, err := f.attempt(t)
+	if err == nil {
+		f.sims.Add(1)
+		f.instrs.Add(res.Instructions)
+		if perr := f.persist(t.key, res); perr != nil {
+			// The measurement itself is valid; a store that stays broken
+			// past its retries costs durability, not correctness.
+			f.logf("farm: store append for %s failed: %v", t.key, perr)
+		}
+	} else {
+		f.failures.Add(1)
+		switch Classify(err) {
+		case ClassBudget:
+			f.budgetOverruns.Add(1)
+			f.logf("farm: %s: %v", t.job.Workload.Key(), err)
+		case ClassPermanent:
+			f.logf("farm: %s: permanent failure: %v", t.job.Workload.Key(), err)
+		}
+	}
+	f.mu.Lock()
+	delete(f.inflight, t.key)
+	f.mu.Unlock()
+	t.res, t.err = res, err
+	close(t.done)
+}
+
+// attempt runs the measurement, retrying transient failures with linear
+// backoff up to the retry budget, and honouring cancellation between tries.
+func (f *Farm) attempt(t *task) (Result, error) {
+	var res Result
+	var err error
+	for try := 0; ; try++ {
+		if cerr := t.ctx.Err(); cerr != nil {
+			return Result{}, cerr
+		}
+		res, err = f.measure(t.ctx, t.job)
+		if err == nil || Classify(err) != ClassTransient || try >= f.retries {
+			return res, err
+		}
+		f.retried.Add(1)
+		f.logf("farm: %s: transient failure (attempt %d/%d): %v",
+			t.job.Workload.Key(), try+1, f.retries, err)
+		select {
+		case <-t.ctx.Done():
+			return Result{}, t.ctx.Err()
+		case <-time.After(f.delay * time.Duration(try+1)):
+		}
+	}
+}
+
+// persist journals both responses of a result, retrying transient IO.
+func (f *Farm) persist(key string, res Result) error {
+	var err error
+	for try := 0; try <= f.retries; try++ {
+		err = f.store.Put(Entry(key, res.Cycles), Entry(EnergyKey(key), res.Energy))
+		if err == nil || Classify(err) != ClassTransient {
+			return err
+		}
+		f.retried.Add(1)
+		time.Sleep(f.delay * time.Duration(try+1))
+	}
+	return err
+}
+
+// Checkpoint flushes the result store to its durable checkpoint file.
+func (f *Farm) Checkpoint() error { return f.store.Checkpoint() }
+
+// Close drains the queue, stops the workers and closes the store (flushing
+// a final checkpoint when durable). The farm rejects new work afterwards.
+func (f *Farm) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.wg.Wait()
+	return f.store.Close()
+}
+
+// WorkerStats reports one worker's share of the farm's work.
+type WorkerStats struct {
+	Jobs int64
+	Busy time.Duration
+}
+
+// Stats is a snapshot of the farm's instrumentation counters.
+type Stats struct {
+	Workers         int
+	CacheHits       int64 // requests served from the result store
+	CacheMisses     int64 // requests that became executions
+	Coalesced       int64 // requests that joined an in-flight execution
+	SimsExecuted    int64
+	InstrsSimulated int64
+	Retries         int64
+	BudgetOverruns  int64
+	Failures        int64
+	WallTime        time.Duration
+	PerWorker       []WorkerStats
+}
+
+// Utilization is the mean fraction of wall time the workers spent executing
+// jobs (1.0 = every worker busy the whole time).
+func (s Stats) Utilization() float64 {
+	if s.WallTime <= 0 || s.Workers == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, w := range s.PerWorker {
+		busy += w.Busy
+	}
+	return float64(busy) / (float64(s.WallTime) * float64(s.Workers))
+}
+
+// String renders the one-line summary the harness log prints.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"farm: %d workers, %d sims (%d Minstrs), %d cache hits, %d coalesced, %d retries, %d failures, %.0f%% utilization, %s wall",
+		s.Workers, s.SimsExecuted, s.InstrsSimulated/1_000_000,
+		s.CacheHits, s.Coalesced, s.Retries, s.Failures,
+		100*s.Utilization(), s.WallTime.Round(time.Millisecond))
+}
+
+// Stats snapshots the farm's counters.
+func (f *Farm) Stats() Stats {
+	st := Stats{
+		Workers:         f.workers,
+		CacheHits:       f.hits.Load(),
+		CacheMisses:     f.misses.Load(),
+		Coalesced:       f.coalesced.Load(),
+		SimsExecuted:    f.sims.Load(),
+		InstrsSimulated: f.instrs.Load(),
+		Retries:         f.retried.Load(),
+		BudgetOverruns:  f.budgetOverruns.Load(),
+		Failures:        f.failures.Load(),
+		WallTime:        time.Since(f.start),
+	}
+	st.PerWorker = make([]WorkerStats, f.workers)
+	for i := range st.PerWorker {
+		st.PerWorker[i] = WorkerStats{
+			Jobs: f.workerJobs[i].Load(),
+			Busy: time.Duration(f.busyNanos[i].Load()),
+		}
+	}
+	return st
+}

@@ -1,0 +1,250 @@
+package farm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the farm's durable measurement store. The on-disk layout is a
+// checkpoint file in the pre-farm cache format — a flat JSON object mapping
+// measurement key to value, so existing `.empirico-cache/measurements-*.json`
+// files load unchanged — plus a sibling append-only journal
+// (`<checkpoint>.journal`, one JSON object per line) that records results the
+// moment they finish. A crash between checkpoints loses nothing: Open replays
+// the journal over the checkpoint. Checkpoint folds the journal into the
+// checkpoint file via temp-file + atomic rename and then truncates the
+// journal, so a crash during checkpointing is also safe.
+type Store struct {
+	mu      sync.Mutex
+	path    string // checkpoint path; "" means memory-only
+	journal *os.File
+	m       map[string]float64
+	pending int // journal entries not yet folded into the checkpoint
+	log     io.Writer
+}
+
+type journalEntry struct {
+	K string  `json:"k"`
+	V float64 `json:"v"`
+}
+
+// MemStore returns a store with no backing files — the configuration used
+// when the harness has no cache directory.
+func MemStore() *Store {
+	return &Store{m: map[string]float64{}}
+}
+
+// Open loads (or creates) a durable store at path. A corrupt or truncated
+// checkpoint is logged and discarded — the store starts fresh rather than
+// silently serving a partial cache — and journal replay tolerates a
+// truncated final line from a crashed writer. Progress messages go to
+// logTo when non-nil.
+func Open(path string, logTo io.Writer) (*Store, error) {
+	s := &Store{path: path, m: map[string]float64{}, log: logTo}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &s.m); err != nil {
+			s.logf("farm: cache %s is corrupt (%v); starting fresh", path, err)
+			s.m = map[string]float64{}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if err := s.replayJournal(); err != nil {
+		return nil, err
+	}
+	j, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = j
+	return s, nil
+}
+
+func (s *Store) journalPath() string { return s.path + ".journal" }
+
+func (s *Store) logf(format string, args ...interface{}) {
+	if s.log != nil {
+		fmt.Fprintf(s.log, format+"\n", args...)
+	}
+}
+
+func (s *Store) replayJournal() error {
+	f, err := os.Open(s.journalPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	replayed, bad := 0, 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn final write from a crash; anything after it is
+			// untrustworthy, so stop here rather than resync.
+			bad++
+			break
+		}
+		s.m[e.K] = e.V
+		replayed++
+	}
+	s.pending = replayed
+	if replayed > 0 || bad > 0 {
+		s.logf("farm: journal replay: %d entries recovered, %d corrupt lines dropped", replayed, bad)
+	}
+	return sc.Err()
+}
+
+// Get returns the stored value for key.
+func (s *Store) Get(key string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// Get2 looks up two keys under one lock acquisition (the farm stores a
+// cycles and an energy entry per simulation and needs both for a hit).
+func (s *Store) Get2(k1, k2 string) (float64, float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v1, ok1 := s.m[k1]
+	v2, ok2 := s.m[k2]
+	return v1, v2, ok1 && ok2
+}
+
+// Put records the key/value pairs in memory and appends them to the journal
+// so they survive a crash before the next checkpoint. Pairs alternate
+// key, value semantics via the kv slice of entries.
+func (s *Store) Put(entries ...journalEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		s.m[e.K] = e.V
+	}
+	if s.journal == nil {
+		return nil
+	}
+	var buf []byte
+	for _, e := range entries {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	// One write per batch keeps lines whole on disk barring a torn page;
+	// replay handles the torn case anyway.
+	if _, err := s.journal.Write(buf); err != nil {
+		return err
+	}
+	s.pending += len(entries)
+	return nil
+}
+
+// Entry builds a journal entry; exported so callers can batch Put calls.
+func Entry(key string, v float64) journalEntry { return journalEntry{K: key, V: v} }
+
+// Len reports the number of stored measurements.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Snapshot returns a copy of the store contents (for tests and reporting).
+func (s *Store) Snapshot() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Checkpoint folds the journal into the checkpoint file: the full map is
+// written to a temp file, synced, atomically renamed over the checkpoint,
+// and only then is the journal truncated. Readers of the old cache format
+// see either the previous checkpoint or the new one, never a partial write.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.path == "" {
+		return nil
+	}
+	if s.pending == 0 {
+		// Nothing new since the last checkpoint (or load); skip the write
+		// but still make sure a checkpoint file exists for fresh stores.
+		if _, err := os.Stat(s.path); err == nil {
+			return nil
+		}
+	}
+	data, err := json.Marshal(s.m)
+	if err != nil {
+		return err
+	}
+	tmp := s.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if s.journal != nil {
+		if err := s.journal.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := s.journal.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+	}
+	s.pending = 0
+	return nil
+}
+
+// Close checkpoints (when durable) and releases the journal handle.
+func (s *Store) Close() error {
+	err := s.Checkpoint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil {
+		if cerr := s.journal.Close(); err == nil {
+			err = cerr
+		}
+		s.journal = nil
+	}
+	return err
+}

@@ -1,0 +1,174 @@
+package farm
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "measurements-test.json")
+	s, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Entry("a", 1.5), Entry("a|energy", 2.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The checkpoint file must be the legacy flat-JSON cache format.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("checkpoint not legacy-format JSON: %v", err)
+	}
+	if m["a"] != 1.5 || m["a|energy"] != 2.5 {
+		t.Fatalf("checkpoint contents: %v", m)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after checkpoint")
+	}
+
+	s2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get("a"); !ok || v != 1.5 {
+		t.Fatalf("reopened store: %v %v", v, ok)
+	}
+}
+
+func TestStoreJournalSurvivesCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "measurements-test.json")
+	s, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Entry("k1", 10), Entry("k2", 20)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: no Checkpoint, no Close. The checkpoint file does
+	// not exist yet, but the journal must carry the results.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("checkpoint unexpectedly written")
+	}
+	s2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get("k1"); !ok || v != 10 {
+		t.Fatalf("journal replay lost k1: %v %v", v, ok)
+	}
+	if v, ok := s2.Get("k2"); !ok || v != 20 {
+		t.Fatalf("journal replay lost k2: %v %v", v, ok)
+	}
+}
+
+func TestStoreRecoversFromCorruptCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "measurements-test.json")
+	if err := os.WriteFile(path, []byte(`{"a": 1.0, "b":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint must not fail Open: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Fatalf("corrupt checkpoint partially loaded: %d entries", s.Len())
+	}
+	// The store must remain fully usable after recovery.
+	if err := s.Put(Entry("fresh", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get("fresh"); !ok || v != 3 {
+		t.Fatalf("post-recovery checkpoint lost data: %v %v", v, ok)
+	}
+}
+
+func TestStoreToleratesTruncatedJournalLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "measurements-test.json")
+	journal := `{"k":"good","v":42}` + "\n" + `{"k":"torn","v":4` // crash mid-write
+	if err := os.WriteFile(path+".journal", []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if v, ok := s.Get("good"); !ok || v != 42 {
+		t.Fatalf("intact journal line lost: %v %v", v, ok)
+	}
+	if _, ok := s.Get("torn"); ok {
+		t.Fatal("torn journal line must not be replayed")
+	}
+}
+
+func TestStoreCheckpointTruncatesJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "measurements-test.json")
+	s, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(Entry("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path + ".journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		t.Fatalf("journal not truncated after checkpoint: %d bytes", info.Size())
+	}
+	// Appends after a checkpoint land at the start of the journal again.
+	if err := s.Put(Entry("y", 2)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get("y"); !ok || v != 2 {
+		t.Fatalf("post-checkpoint journal entry lost: %v %v", v, ok)
+	}
+}
+
+func TestMemStoreNoFiles(t *testing.T) {
+	s := MemStore()
+	if err := s.Put(Entry("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("a"); !ok || v != 1 {
+		t.Fatalf("mem store lost value: %v %v", v, ok)
+	}
+}

@@ -10,6 +10,7 @@ package smarts
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/sim"
@@ -168,6 +169,67 @@ func Run(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64) (*Result
 		RelCI997:        rel,
 		ExitValue:       exe.Regs[isa.RegRV],
 	}, nil
+}
+
+// RunParallel draws `workers` independent sample sets concurrently — each
+// with a distinct window offset, the mechanism SMARTS prescribes for
+// independent draws — and pools their windows into one estimate. The pooled
+// mean CPI has ~workers× the sample count of a single Run, tightening the
+// confidence interval, and the runs execute on separate goroutines so wall
+// time stays near a single Run's on a multicore host. workers is clamped to
+// s.Interval (offsets must be distinct) and workers <= 1 degrades to Run.
+func RunParallel(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64, workers int) (*Result, error) {
+	if int64(workers) > s.Interval {
+		workers = int(s.Interval)
+	}
+	if workers <= 1 {
+		return Run(prog, cfg, s, maxInstrs)
+	}
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	stride := s.Interval / int64(workers)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sk := s
+			sk.Offset = (s.Offset + int64(k)*stride) % s.Interval
+			results[k], errs[k] = Run(prog, cfg, sk, maxInstrs)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// A run shorter than one sampling period fell back to full detail and
+	// is exact; return it directly.
+	for _, r := range results {
+		if r.Windows == 0 {
+			return r, nil
+		}
+	}
+	// Pool the window populations: weighted mean and total variance
+	// (within + between run means) over all windows.
+	var n float64
+	var sum, sumSq float64
+	pooled := &Result{Instructions: results[0].Instructions, ExitValue: results[0].ExitValue}
+	for _, r := range results {
+		w := float64(r.Windows)
+		n += w
+		sum += w * r.MeanCPI
+		sumSq += w * (r.StdCPI*r.StdCPI + r.MeanCPI*r.MeanCPI)
+		pooled.Windows += r.Windows
+	}
+	pooled.MeanCPI = sum / n
+	pooled.StdCPI = math.Sqrt(sumSq/n - pooled.MeanCPI*pooled.MeanCPI)
+	if pooled.MeanCPI > 0 {
+		pooled.RelCI997 = 3 * pooled.StdCPI / (math.Sqrt(n) * pooled.MeanCPI)
+	}
+	pooled.EstimatedCycles = pooled.MeanCPI * float64(pooled.Instructions)
+	return pooled, nil
 }
 
 // RunToConfidence repeatedly increases sampling density (halving the

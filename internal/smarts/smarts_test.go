@@ -151,3 +151,43 @@ func TestWarmupReducesBias(t *testing.T) {
 			100*errOf(cold.EstimatedCycles), 100*errOf(warm.EstimatedCycles))
 	}
 }
+
+func TestRunParallelPoolsWindows(t *testing.T) {
+	prog, _, err := compiler.CompileSource(loopSrc, compiler.O2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	s := Sampler{WindowSize: 200, Interval: 40}
+	single, err := Run(prog, cfg, s, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunParallel(prog, cfg, s, 100_000_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.Windows <= single.Windows {
+		t.Fatalf("pooling did not add windows: %d vs %d", pooled.Windows, single.Windows)
+	}
+	rel := math.Abs(pooled.EstimatedCycles-single.EstimatedCycles) / single.EstimatedCycles
+	if rel > 0.10 {
+		t.Fatalf("pooled estimate drifted %.1f%% from single-offset run", 100*rel)
+	}
+	// Deterministic: the same call yields the same pooled estimate.
+	again, err := RunParallel(prog, cfg, s, 100_000_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.EstimatedCycles != pooled.EstimatedCycles || again.Windows != pooled.Windows {
+		t.Fatal("RunParallel not deterministic")
+	}
+	// workers <= 1 degrades to Run exactly.
+	one, err := RunParallel(prog, cfg, s, 100_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.EstimatedCycles != single.EstimatedCycles {
+		t.Fatal("workers=1 must match Run")
+	}
+}
