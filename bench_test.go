@@ -16,6 +16,7 @@ package repro_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/search"
 	"repro/internal/sim"
+	"repro/internal/smarts"
 	"repro/internal/workloads"
 )
 
@@ -441,7 +443,9 @@ func BenchmarkAblationSearch(b *testing.B) {
 }
 
 // BenchmarkSMARTSSpeedup reports the wall-clock ratio of detailed vs sampled
-// simulation on the largest ref workload.
+// simulation on the largest ref workload, along with the sampled estimate's
+// relative error against the detailed cycle count — the two numbers that
+// justify SMARTS in the first place.
 func BenchmarkSMARTSSpeedup(b *testing.B) {
 	w := workloads.MustGet("181.mcf", workloads.Ref)
 	prog, _, err := compiler.Compile(w.Parse(), compiler.O2())
@@ -449,9 +453,56 @@ func BenchmarkSMARTSSpeedup(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := sim.DefaultConfig()
+	s := smarts.Sampler{WindowSize: 1000, Interval: 50}
+	var speedup, relErr float64
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Simulate(prog, cfg, 2_000_000_000); err != nil {
+		start := time.Now()
+		full, err := sim.Simulate(prog, cfg, 2_000_000_000)
+		if err != nil {
 			b.Fatal(err)
 		}
+		detailed := time.Since(start)
+		start = time.Now()
+		res, err := smarts.Run(prog, cfg, s, 2_000_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampled := time.Since(start)
+		if res.Windows == 0 {
+			b.Fatal("sampler fell back to detailed simulation")
+		}
+		speedup = detailed.Seconds() / sampled.Seconds()
+		relErr = 100 * math.Abs(res.EstimatedCycles-float64(full.Cycles)) / float64(full.Cycles)
 	}
+	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(relErr, "est-relerr-%")
+}
+
+// BenchmarkSMARTSParallel measures the shared-trace parallel sampler: one
+// functional pass broadcast to 4 offset workers, against one sequential
+// Run. The ratio should exceed 1 on any multicore host because the workers'
+// warming/detail work overlaps, and the single functional pass keeps total
+// CPU close to Run's.
+func BenchmarkSMARTSParallel(b *testing.B) {
+	w := workloads.MustGet("181.mcf", workloads.Ref)
+	prog, _, err := compiler.Compile(w.Parse(), compiler.O2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	s := smarts.Sampler{WindowSize: 1000, Interval: 50}
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := smarts.Run(prog, cfg, s, 2_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+		seq = time.Since(start)
+		start = time.Now()
+		if _, err := smarts.RunParallel(prog, cfg, s, 2_000_000_000, 4); err != nil {
+			b.Fatal(err)
+		}
+		par = time.Since(start)
+	}
+	b.ReportMetric(seq.Seconds()/par.Seconds(), "vs-single-run-x")
 }

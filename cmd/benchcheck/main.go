@@ -1,0 +1,120 @@
+// benchcheck parses `go test -bench` output for the simulator benchmarks on
+// stdin, writes the headline numbers to a JSON file at the repo root, and
+// fails (exit 1) when detailed-simulation throughput has regressed more
+// than -max-regress relative to the committed baseline. CI runs it after
+// the benchmark step so a simulator slowdown fails the build instead of
+// landing silently:
+//
+//	go test -run '^$' -bench 'SimulatorThroughput$|SMARTSSpeedup$' -benchtime=1x . |
+//	    go run ./cmd/benchcheck -baseline BENCH_sim.json -out BENCH_sim.json
+//
+// Regenerate the baseline by committing the freshly written file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Numbers is the schema of BENCH_sim.json.
+type Numbers struct {
+	// InstrsPerSec is detailed-simulation throughput from
+	// BenchmarkSimulatorThroughput (committed instructions per second).
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+	// SMARTSSpeedupX is the detailed/sampled wall-clock ratio from
+	// BenchmarkSMARTSSpeedup.
+	SMARTSSpeedupX float64 `json:"smarts_speedup_x"`
+	// SMARTSRelErrPct is the sampled estimate's relative error (%) from
+	// the same benchmark.
+	SMARTSRelErrPct float64 `json:"smarts_est_relerr_pct"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_sim.json", "committed baseline to compare against (missing file skips the check)")
+	outPath := flag.String("out", "BENCH_sim.json", "where to write the fresh numbers")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated fractional throughput regression")
+	flag.Parse()
+
+	cur, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fatal(err)
+	}
+
+	var base *Numbers
+	if data, err := os.ReadFile(*baselinePath); err == nil {
+		base = &Numbers{}
+		if err := json.Unmarshal(data, base); err != nil {
+			fatal(fmt.Errorf("benchcheck: bad baseline %s: %v", *baselinePath, err))
+		}
+	}
+
+	data, _ := json.MarshalIndent(cur, "", "  ")
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchcheck: %.3g instrs/sec, SMARTS %.2fx (%.1f%% err)\n",
+		cur.InstrsPerSec, cur.SMARTSSpeedupX, cur.SMARTSRelErrPct)
+	if base == nil || base.InstrsPerSec <= 0 {
+		fmt.Println("benchcheck: no baseline, skipping regression check")
+		return
+	}
+	ratio := cur.InstrsPerSec / base.InstrsPerSec
+	fmt.Printf("benchcheck: throughput %.2fx of baseline (%.3g instrs/sec)\n", ratio, base.InstrsPerSec)
+	if ratio < 1-*maxRegress {
+		fatal(fmt.Errorf("benchcheck: simulator throughput regressed %.0f%% (limit %.0f%%)",
+			100*(1-ratio), 100**maxRegress))
+	}
+}
+
+// parse extracts the metrics from `go test -bench` result lines, e.g.
+//
+//	BenchmarkSimulatorThroughput  1  36981269 ns/op  2217653 instrs/op
+//	BenchmarkSMARTSSpeedup        1  319079035 ns/op  5.688 est-relerr-%  1.180 speedup-x
+func parse(sc *bufio.Scanner) (*Numbers, error) {
+	n := &Numbers{}
+	var haveThroughput, haveSMARTS bool
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 2 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		// Metrics come as "<value> <unit>" pairs after the iteration count.
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcheck: bad value %q in %q", f[i], sc.Text())
+			}
+			metrics[f[i+1]] = v
+		}
+		switch {
+		case strings.HasPrefix(f[0], "BenchmarkSimulatorThroughput"):
+			if metrics["ns/op"] > 0 {
+				n.InstrsPerSec = metrics["instrs/op"] / (metrics["ns/op"] * 1e-9)
+				haveThroughput = true
+			}
+		case strings.HasPrefix(f[0], "BenchmarkSMARTSSpeedup"):
+			n.SMARTSSpeedupX = metrics["speedup-x"]
+			n.SMARTSRelErrPct = metrics["est-relerr-%"]
+			haveSMARTS = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !haveThroughput || !haveSMARTS {
+		return nil, fmt.Errorf("benchcheck: missing benchmark output (throughput=%v smarts=%v)", haveThroughput, haveSMARTS)
+	}
+	return n, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

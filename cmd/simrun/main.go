@@ -8,6 +8,7 @@
 //	simrun -bench 181.mcf -config typical
 //	simrun -bench 179.art -O3 -config aggressive -smarts
 //	simrun -src prog.mc -mem-lat 150 -dcache-kb 8
+//	simrun -bench 179.art -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/compiler"
 	"repro/internal/isa"
@@ -37,6 +39,9 @@ func main() {
 		workers = flag.Int("workers", 1, "with -smarts: pool this many offset-shifted sample sets, drawn concurrently (0 = GOMAXPROCS)")
 		trace   = flag.Int64("trace", 0, "print pipeline timing for the first N instructions")
 		budget  = flag.Int64("max-instrs", 2_000_000_000, "instruction budget")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 
 		issueWidth = flag.Int("issue-width", 0, "override issue width")
 		memLat     = flag.Int("mem-lat", 0, "override memory latency")
@@ -134,6 +139,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	// Profile only the simulation itself, not parsing or compilation.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	if *useSam {

@@ -13,12 +13,18 @@ type Cache struct {
 	tags     []uint64 // sets*assoc entries
 	valid    []bool
 	lru      []uint8 // age per way; 0 = most recent
+	mru      []uint8 // most recently used way per set (its lru age is 0)
 	Accesses int64
 	Misses   int64
 }
 
 // NewCache builds a cache of sizeKB kilobytes with the given associativity.
-// The set count is forced to at least 1.
+// The set count is forced to at least 1 and rounded DOWN to a power of two
+// so set selection is a mask, so a (sizeKB × assoc) combination whose set
+// count is not a power of two silently models a smaller cache: e.g. 96 KB
+// at 4 ways is 1536 lines = 384 sets, rounded to 256 sets = 64 KB. Callers
+// sweeping capacity should check SizeKB for the effective value; the
+// paper's Table 2 levels are all powers of two, where rounding is a no-op.
 func NewCache(sizeKB, assoc int) *Cache {
 	lines := sizeKB * 1024 / LineBytes
 	if assoc < 1 {
@@ -40,19 +46,30 @@ func NewCache(sizeKB, assoc int) *Cache {
 		tags:     make([]uint64, sets*assoc),
 		valid:    make([]bool, sets*assoc),
 		lru:      make([]uint8, sets*assoc),
+		mru:      make([]uint8, sets),
 	}
 	return c
 }
 
 // Access looks up the line containing addr, updating LRU state, and
-// allocates it on miss. Returns true on hit.
+// allocates it on miss. Returns true on hit. The MRU way of the set is
+// probed first in an inlinable fast path: temporal locality makes it the
+// overwhelmingly common hit, and because its age is already 0 the LRU aging
+// loop is skipped entirely.
 func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
-	line := addr >> c.setShift
+	line := addr >> c.setShift // full line address doubles as the tag
 	set := int(line & c.setMask)
-	tag := line >> 0 // full line address as tag (set bits redundant but harmless)
 	base := set * c.assoc
+	mruWay := base + int(c.mru[set])
+	if c.valid[mruWay] && c.tags[mruWay] == line {
+		return true // MRU hit: ages are already correct
+	}
+	return c.accessSlow(line, set, base)
+}
 
+// accessSlow probes the non-MRU ways and handles the miss/replacement path.
+func (c *Cache) accessSlow(tag uint64, set, base int) bool {
 	hitWay := -1
 	for w := 0; w < c.assoc; w++ {
 		if c.valid[base+w] && c.tags[base+w] == tag {
@@ -61,7 +78,7 @@ func (c *Cache) Access(addr uint64) bool {
 		}
 	}
 	if hitWay >= 0 {
-		c.touch(base, hitWay)
+		c.touch(set, base, hitWay)
 		return true
 	}
 	c.Misses++
@@ -80,8 +97,15 @@ func (c *Cache) Access(addr uint64) bool {
 	}
 	c.valid[base+victim] = true
 	c.tags[base+victim] = tag
-	c.touch(base, victim)
+	c.touch(set, base, victim)
 	return false
+}
+
+// SizeKB returns the effective modeled capacity in kilobytes, after
+// NewCache's power-of-two set rounding. It equals the sizeKB passed to
+// NewCache whenever that size yields a power-of-two set count.
+func (c *Cache) SizeKB() int {
+	return c.sets * c.assoc * LineBytes / 1024
 }
 
 // Contains reports whether addr's line is present without updating state.
@@ -97,7 +121,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	return false
 }
 
-func (c *Cache) touch(base, way int) {
+func (c *Cache) touch(set, base, way int) {
 	cur := c.lru[base+way]
 	for w := 0; w < c.assoc; w++ {
 		if c.lru[base+w] < cur {
@@ -105,6 +129,7 @@ func (c *Cache) touch(base, way int) {
 		}
 	}
 	c.lru[base+way] = 0
+	c.mru[set] = uint8(way)
 }
 
 // Reset clears all cache contents and statistics.
@@ -113,6 +138,9 @@ func (c *Cache) Reset() {
 		c.valid[i] = false
 		c.lru[i] = 0
 		c.tags[i] = 0
+	}
+	for i := range c.mru {
+		c.mru[i] = 0
 	}
 	c.Accesses, c.Misses = 0, 0
 }

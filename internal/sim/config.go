@@ -10,6 +10,12 @@ package sim
 import "fmt"
 
 // Config holds the microarchitectural parameters (paper Table 2).
+//
+// Cache sizes are nominal: NewCache rounds the set count down to a power of
+// two, so a size/associativity combination with a non-power-of-two set
+// count models the next smaller power-of-two capacity (see NewCache and
+// Cache.SizeKB). Every level in the paper's design space is a power of two,
+// where the rounding changes nothing.
 type Config struct {
 	IssueWidth  int // instructions fetched/issued/committed per cycle (2..4)
 	BPredSize   int // entries in each table of the combined predictor (512..8192)

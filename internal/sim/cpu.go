@@ -12,45 +12,56 @@ import (
 // stalls, and in-order commit bandwidth — the mechanisms SimpleScalar's
 // sim-outorder models with the same parameters.
 type CPU struct {
+	// Hot per-instruction scalars live together at the top of the struct,
+	// ahead of the large ring arrays, so the common path touches as few
+	// cache lines as possible.
+
 	cfg Config
 
 	IL1, DL1, L2 *Cache
 	BP           *BPred
-
-	regReady [isa.NumRegs]int64
-
-	// Functional units: next-free cycle per unit instance.
-	fu [isa.NumFUClasses][]int64
-
-	// RUU occupancy: commit cycle of the seq-RUUSize-older instruction.
-	commitRing []int64
-	seq        int64
 
 	// Fetch state.
 	fetchCycle int64
 	fetchCount int
 	lastLine   uint64 // last icache line fetched (+1 so 0 means "none")
 
-	// Issue bandwidth ring: count of issues per cycle.
-	issueCycles [issueRingSize]int64
-	issueCounts [issueRingSize]int
+	// RUU occupancy: commit cycle of the seq-RUUSize-older instruction.
+	// ruuPos is seq modulo the ring size, maintained incrementally so the
+	// hot loop never divides.
+	commitRing []int64
+	ruuPos     int
+	seq        int64
 
 	// Memory bus: cycle at which the next DRAM transfer may start.
 	busFree int64
-
-	// Trace, when non-nil, receives one event per committed instruction
-	// with its pipeline timing — the sim-outorder "-ptrace" analogue.
-	Trace func(TraceEvent)
 
 	// Commit bandwidth.
 	lastCommitCycle int64
 	commitsThisCyc  int
 
 	stats Stats
+
+	regReady [isa.NumRegs]int64
+
+	// Functional units: next-free cycle per unit instance.
+	fu [isa.NumFUClasses][]int64
+
+	// Trace, when non-nil, receives one event per committed instruction
+	// with its pipeline timing — the sim-outorder "-ptrace" analogue.
+	Trace func(TraceEvent)
+
+	// Issue bandwidth ring: per-cycle issue bookkeeping, packed as
+	// cycle<<issueCountBits | count so each slot is one cache-line touch.
+	// Config.Validate caps IssueWidth at 8, so 4 count bits never carry
+	// into the cycle field.
+	issueRing [issueRingSize]int64
 }
 
 const (
 	issueRingSize   = 4096
+	issueCountBits  = 4
+	issueCountMask  = 1<<issueCountBits - 1
 	redirectPenalty = 3
 )
 
@@ -130,13 +141,13 @@ func (c *CPU) iAccess(addr uint64, when int64) int64 {
 func (c *CPU) issueAt(want int64) int64 {
 	for {
 		slot := want & (issueRingSize - 1)
-		if c.issueCycles[slot] != want {
-			c.issueCycles[slot] = want
-			c.issueCounts[slot] = 1
+		v := c.issueRing[slot]
+		if v>>issueCountBits != want {
+			c.issueRing[slot] = want<<issueCountBits | 1
 			return want
 		}
-		if c.issueCounts[slot] < c.cfg.IssueWidth {
-			c.issueCounts[slot]++
+		if int(v&issueCountMask) < c.cfg.IssueWidth {
+			c.issueRing[slot] = v + 1
 			return want
 		}
 		want++
@@ -144,15 +155,26 @@ func (c *CPU) issueAt(want int64) int64 {
 }
 
 // Feed advances the model by one committed instruction. in must be the
-// instruction at entry.PC.
+// instruction at entry.PC. It decodes on the fly; hot loops should decode
+// the program once and use FeedDecoded instead.
 func (c *CPU) Feed(in *isa.Instr, entry TraceEntry) {
+	m := decodeInstr(in, entry.PC)
+	c.feed(in, &m, entry)
+}
+
+// FeedDecoded is Feed against a pre-decoded program: one flat-table index
+// replaces the per-instruction opcode switches.
+func (c *CPU) FeedDecoded(d *DecodedProgram, entry TraceEntry) {
+	c.feed(&d.Prog.Instrs[entry.PC], &d.meta[entry.PC], entry)
+}
+
+func (c *CPU) feed(in *isa.Instr, m *instrMeta, entry TraceEntry) {
 	c.stats.Instructions++
 
 	// --- Fetch ---
-	line := isa.PCByte(entry.PC)>>6 + 1
-	if line != c.lastLine {
-		c.lastLine = line
-		if stall := c.iAccess(isa.PCByte(entry.PC), c.fetchCycle); stall > 0 {
+	if m.line != c.lastLine {
+		c.lastLine = m.line
+		if stall := c.iAccess(m.pcByte, c.fetchCycle); stall > 0 {
 			c.fetchCycle += stall
 			c.fetchCount = 0
 		}
@@ -164,7 +186,7 @@ func (c *CPU) Feed(in *isa.Instr, entry TraceEntry) {
 
 	// --- Dispatch: need a free RUU slot ---
 	dispatch := c.fetchCycle
-	if slotFree := c.commitRing[c.seq%int64(c.cfg.RUUSize)]; slotFree > dispatch {
+	if slotFree := c.commitRing[c.ruuPos]; slotFree > dispatch {
 		dispatch = slotFree
 		// The front end backs up behind the full window.
 		c.fetchCycle = dispatch
@@ -174,18 +196,13 @@ func (c *CPU) Feed(in *isa.Instr, entry TraceEntry) {
 
 	// --- Issue: operands, functional unit, issue bandwidth ---
 	ready := dispatch + 1
-	use1, use2 := instrSources(in)
-	if use1 != isa.RegZero && c.regReady[use1] > ready {
-		ready = c.regReady[use1]
+	if m.src1 != isa.RegZero && c.regReady[m.src1] > ready {
+		ready = c.regReady[m.src1]
 	}
-	if use2 != isa.RegZero && c.regReady[use2] > ready {
-		ready = c.regReady[use2]
+	if m.src2 != isa.RegZero && c.regReady[m.src2] > ready {
+		ready = c.regReady[m.src2]
 	}
-	fuClass := in.Op.Class()
-	if fuClass == isa.FUNone {
-		fuClass = isa.FUIntALU
-	}
-	units := c.fu[fuClass]
+	units := c.fu[m.fu]
 	best := 0
 	for u := 1; u < len(units); u++ {
 		if units[u] < units[best] {
@@ -198,40 +215,31 @@ func (c *CPU) Feed(in *isa.Instr, entry TraceEntry) {
 	issue := c.issueAt(ready)
 	// Fully pipelined units except divide.
 	occupy := int64(1)
-	if in.Op == isa.OpDiv || in.Op == isa.OpRem {
-		occupy = int64(in.Op.Latency())
+	if m.flags&flagUnpipelined != 0 {
+		occupy = m.lat
 	}
 	units[best] = issue + occupy
 
 	// --- Execute latency ---
 	var lat int64
 	switch {
-	case in.Op == isa.OpLoad:
+	case m.flags&flagLoad != 0:
 		lat = c.dAccess(entry.Addr, issue)
-	case in.Op == isa.OpStore:
+	case m.flags&flagStoreLike != 0:
 		c.dAccess(entry.Addr, issue) // fills the hierarchy; store buffer hides latency
 		lat = 1
-	case in.Op == isa.OpPrefetch:
-		c.dAccess(entry.Addr, issue)
-		lat = 1
 	default:
-		lat = int64(in.Op.Latency())
+		lat = m.lat
 	}
 	done := issue + lat
-	c.stats.Energy += instrEnergy(in.Op)
+	c.stats.Energy += m.energy
 
-	if in.Op.WritesReg() {
-		rd := in.Rd
-		if in.Op == isa.OpCall {
-			rd = isa.RegRA
-		}
-		if rd != isa.RegZero {
-			c.regReady[rd] = done
-		}
+	if m.dest != isa.RegZero {
+		c.regReady[m.dest] = done
 	}
 
 	// --- Control flow ---
-	if in.Op.IsBranch() {
+	if m.flags&flagBranch != 0 {
 		c.stats.Branches++
 		correct := c.BP.Update(entry.PC, entry.Taken)
 		if !correct {
@@ -246,7 +254,7 @@ func (c *CPU) Feed(in *isa.Instr, entry TraceEntry) {
 			// Correctly predicted taken: the fetch group still ends.
 			c.fetchCount = c.cfg.IssueWidth
 		}
-	} else if in.Op.IsControl() {
+	} else if m.flags&flagControl != 0 {
 		// Unconditional transfers (jump/call/ret): perfect target
 		// prediction, but the fetch group ends.
 		c.fetchCount = c.cfg.IssueWidth
@@ -267,7 +275,11 @@ func (c *CPU) Feed(in *isa.Instr, entry TraceEntry) {
 		c.commitsThisCyc = 1
 	}
 	c.lastCommitCycle = commit
-	c.commitRing[c.seq%int64(c.cfg.RUUSize)] = commit
+	c.commitRing[c.ruuPos] = commit
+	c.ruuPos++
+	if c.ruuPos == len(c.commitRing) {
+		c.ruuPos = 0
+	}
 	c.seq++
 
 	if commit > c.stats.Cycles {
@@ -312,12 +324,12 @@ func (c *CPU) ResetTiming() {
 	for i := range c.commitRing {
 		c.commitRing[i] = 0
 	}
+	c.ruuPos = 0
 	c.seq = 0
 	c.fetchCycle = 0
 	c.fetchCount = 0
 	c.lastLine = 0
-	c.issueCycles = [issueRingSize]int64{}
-	c.issueCounts = [issueRingSize]int{}
+	c.issueRing = [issueRingSize]int64{}
 	c.busFree = 0
 	c.lastCommitCycle = 0
 	c.commitsThisCyc = 0
@@ -327,16 +339,24 @@ func (c *CPU) ResetTiming() {
 // WarmFeed updates caches and branch predictor state without advancing the
 // timing model — SMARTS functional warming between detailed windows.
 func (c *CPU) WarmFeed(in *isa.Instr, entry TraceEntry) {
-	line := isa.PCByte(entry.PC)>>6 + 1
-	if line != c.lastLine {
-		c.lastLine = line
-		c.iAccess(isa.PCByte(entry.PC), 0)
+	m := decodeInstr(in, entry.PC)
+	c.warmFeed(&m, entry)
+}
+
+// WarmFeedDecoded is WarmFeed against a pre-decoded program.
+func (c *CPU) WarmFeedDecoded(d *DecodedProgram, entry TraceEntry) {
+	c.warmFeed(&d.meta[entry.PC], entry)
+}
+
+func (c *CPU) warmFeed(m *instrMeta, entry TraceEntry) {
+	if m.line != c.lastLine {
+		c.lastLine = m.line
+		c.iAccess(m.pcByte, 0)
 	}
-	switch in.Op {
-	case isa.OpLoad, isa.OpStore, isa.OpPrefetch:
+	if m.flags&(flagLoad|flagStoreLike) != 0 {
 		c.dAccess(entry.Addr, 0)
 	}
-	if in.Op.IsBranch() {
+	if m.flags&flagBranch != 0 {
 		c.BP.Update(entry.PC, entry.Taken)
 	}
 }
@@ -367,25 +387,17 @@ func instrSources(in *isa.Instr) (uint8, uint8) {
 }
 
 // Simulate runs prog to completion (bounded by maxInstrs) under the given
-// configuration and returns the statistics.
+// configuration and returns the statistics. The run goes through the fused
+// interpreter+timing loop: the executor's decoded metadata table is shared
+// with the timing model and no dynamic instruction is ever re-decoded.
 func Simulate(prog *isa.Program, cfg Config, maxInstrs int64) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
 	exe := NewExecutor(prog)
 	cpu := NewCPU(cfg)
-	for !exe.Halted {
-		if exe.Count >= maxInstrs {
-			return Stats{}, &ErrFault{exe.PC, "instruction budget exceeded"}
-		}
-		entry, ok, err := exe.Step()
-		if err != nil {
-			return Stats{}, err
-		}
-		if !ok {
-			break
-		}
-		cpu.Feed(&prog.Instrs[entry.PC], entry)
+	if err := runFused(exe, cpu, maxInstrs); err != nil {
+		return Stats{}, err
 	}
 	st := cpu.Stats()
 	st.ExitValue = exe.Regs[isa.RegRV]

@@ -6,29 +6,59 @@ import (
 	"repro/internal/isa"
 )
 
-// Memory is a sparse word-addressed memory backed by fixed-size pages.
+// Memory is a sparse word-addressed memory backed by fixed-size pages. Two
+// layers keep the hot path off the page map: a one-entry page cache exploits
+// the spatial locality of consecutive accesses, and behind it a two-level
+// radix table covers the executor's entire architected address space
+// (globals low, stack below 1 GiB) with two pointer hops. The map survives
+// only as a spill area for pathological addresses beyond the radix reach.
 type Memory struct {
-	pages map[uint64]*[pageWords]int64
+	lastIdx  uint64
+	lastPage *[pageWords]int64
+	regions  []*[regionPages]*[pageWords]int64
+	spill    map[uint64]*[pageWords]int64
 }
 
 const (
 	pageShift = 12 // 4 KiB pages
 	pageWords = 1 << (pageShift - 3)
+
+	regionShift = 10 // pages per radix leaf
+	regionPages = 1 << regionShift
+	numRegions  = 1024 // leaves in the top level: covers 4 GiB of address space
 )
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: map[uint64]*[pageWords]int64{}}
+	return &Memory{regions: make([]*[regionPages]*[pageWords]int64, numRegions)}
+}
+
+// page returns the page holding word index w, or nil if it has never been
+// written.
+func (m *Memory) page(pi uint64) *[pageWords]int64 {
+	if ri := pi >> regionShift; ri < numRegions {
+		leaf := m.regions[ri]
+		if leaf == nil {
+			return nil
+		}
+		return leaf[pi&(regionPages-1)]
+	}
+	return m.spill[pi]
 }
 
 // Load reads the word at byte address addr (which must be 8-byte aligned in
 // well-formed programs; unaligned addresses are truncated to words).
 func (m *Memory) Load(addr uint64) int64 {
 	w := addr >> 3
-	page := m.pages[w>>(pageShift-3)]
+	pi := w >> (pageShift - 3)
+	if pi == m.lastIdx && m.lastPage != nil {
+		return m.lastPage[w&(pageWords-1)]
+	}
+	page := m.page(pi)
 	if page == nil {
 		return 0
 	}
+	m.lastIdx, m.lastPage = pi, page
 	return page[w&(pageWords-1)]
 }
 
@@ -36,11 +66,28 @@ func (m *Memory) Load(addr uint64) int64 {
 func (m *Memory) Store(addr uint64, val int64) {
 	w := addr >> 3
 	pi := w >> (pageShift - 3)
-	page := m.pages[pi]
+	if pi == m.lastIdx && m.lastPage != nil {
+		m.lastPage[w&(pageWords-1)] = val
+		return
+	}
+	page := m.page(pi)
 	if page == nil {
 		page = new([pageWords]int64)
-		m.pages[pi] = page
+		if ri := pi >> regionShift; ri < numRegions {
+			leaf := m.regions[ri]
+			if leaf == nil {
+				leaf = new([regionPages]*[pageWords]int64)
+				m.regions[ri] = leaf
+			}
+			leaf[pi&(regionPages-1)] = page
+		} else {
+			if m.spill == nil {
+				m.spill = map[uint64]*[pageWords]int64{}
+			}
+			m.spill[pi] = page
+		}
 	}
+	m.lastIdx, m.lastPage = pi, page
 	page[w&(pageWords-1)] = val
 }
 
@@ -56,7 +103,14 @@ type Executor struct {
 
 	// Count is the number of instructions executed so far.
 	Count int64
+
+	instrs []isa.Instr // Prog.Instrs, cached to keep Step off the Program header
+	dec    *DecodedProgram
 }
+
+// Decoded returns the program's pre-decoded metadata table, built once in
+// NewExecutor and shared read-only with any number of timing models.
+func (e *Executor) Decoded() *DecodedProgram { return e.dec }
 
 // TraceEntry describes one executed instruction for the timing model.
 type TraceEntry struct {
@@ -69,7 +123,7 @@ type TraceEntry struct {
 // NewExecutor prepares an executor with globals initialized and the stack
 // pointer set.
 func NewExecutor(p *isa.Program) *Executor {
-	e := &Executor{Prog: p, Mem: NewMemory(), PC: p.Entry}
+	e := &Executor{Prog: p, Mem: NewMemory(), PC: p.Entry, instrs: p.Instrs, dec: Decode(p)}
 	e.Regs[isa.RegSP] = isa.StackBase
 	for _, di := range p.Init {
 		e.Mem.Store(di.Addr, di.Val)
@@ -96,10 +150,10 @@ func (e *Executor) Step() (entry TraceEntry, ok bool, err error) {
 	if e.Halted {
 		return TraceEntry{}, false, nil
 	}
-	if e.PC < 0 || int(e.PC) >= len(e.Prog.Instrs) {
+	if uint32(e.PC) >= uint32(len(e.instrs)) { // also catches negative PCs
 		return TraceEntry{}, false, &ErrFault{e.PC, "pc out of range"}
 	}
-	in := &e.Prog.Instrs[e.PC]
+	in := &e.instrs[e.PC]
 	entry = TraceEntry{PC: e.PC, NextPC: e.PC + 1}
 	r := &e.Regs
 

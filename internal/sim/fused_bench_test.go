@@ -1,0 +1,24 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func BenchmarkFunctionalOnly(b *testing.B) {
+	w := workloads.MustGet("179.art", workloads.Train)
+	prog, _, err := compiler.Compile(w.Parse(), compiler.O2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exe := sim.NewExecutor(prog)
+		if _, _, err := exe.Run(500_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

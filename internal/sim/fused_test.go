@@ -1,0 +1,53 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// TestFusedMatchesFeed pins the fused Simulate loop to the reference
+// composition it replaces: a functional Step stream driven through the
+// CPU's FeedDecoded path. Any divergence — a counter, a cycle, a single
+// energy bit — fails here before it can corrupt the golden tables.
+func TestFusedMatchesFeed(t *testing.T) {
+	w := workloads.MustGet("179.art", workloads.Train)
+	prog, _, err := compiler.Compile(w.Parse(), compiler.O2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := sim.Constrained()
+	narrow.IssueWidth = 1 // exercise the 1-unit FU argmin and issue-width-1 ring
+	for _, cfg := range []sim.Config{sim.DefaultConfig(), sim.Aggressive(), narrow} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		fused, err := sim.Simulate(prog, cfg, 500_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		exe := sim.NewExecutor(prog)
+		cpu := sim.NewCPU(cfg)
+		dec := exe.Decoded()
+		for !exe.Halted {
+			entry, ok, err := exe.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			cpu.FeedDecoded(dec, entry)
+		}
+		ref := cpu.Stats()
+		ref.ExitValue = exe.Regs[isa.RegRV]
+
+		if fused != ref {
+			t.Errorf("cfg %+v:\nfused %+v\nfeed  %+v", cfg, fused, ref)
+		}
+	}
+}

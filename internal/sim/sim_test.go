@@ -170,6 +170,27 @@ func TestCacheMissRateAndReset(t *testing.T) {
 	}
 }
 
+func TestCacheSizeKBRounding(t *testing.T) {
+	cases := []struct {
+		sizeKB, assoc int
+		wantKB        int
+	}{
+		{32, 1, 32}, // power-of-two sets: exact
+		{32, 4, 32}, // still power-of-two sets
+		{96, 4, 64}, // 384 sets rounds down to 256: effective 64 KB
+		{48, 1, 32}, // 768 sets -> 512
+		{1024, 8, 1024},
+		{0, 1, 0}, // degenerate: clamped to 1 set of 1 way = 64 B
+	}
+	for _, tc := range cases {
+		c := NewCache(tc.sizeKB, tc.assoc)
+		if got := c.SizeKB(); got != tc.wantKB {
+			t.Errorf("NewCache(%d KB, %d-way).SizeKB() = %d, want %d",
+				tc.sizeKB, tc.assoc, got, tc.wantKB)
+		}
+	}
+}
+
 func TestBPredLearnsLoop(t *testing.T) {
 	p := NewBPred(512)
 	// Strongly biased branch: taken 63 of 64 times, repeated.

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/isa"
 	"repro/internal/sim"
@@ -34,6 +35,16 @@ type Sampler struct {
 	Warmup int64
 }
 
+func (s Sampler) validate() error {
+	if s.WindowSize <= 0 || s.Interval <= 0 {
+		return errors.New("smarts: window size and interval must be positive")
+	}
+	if s.Offset < 0 || s.Offset >= s.Interval {
+		return errors.New("smarts: offset out of range")
+	}
+	return nil
+}
+
 // DefaultSampler returns the paper's sampling parameters.
 func DefaultSampler() Sampler {
 	return Sampler{WindowSize: 1000, Interval: 1000}
@@ -50,57 +61,158 @@ type Result struct {
 	// interval on the mean CPI.
 	RelCI997  float64
 	ExitValue int64
+	// FunctionalInstrs counts the instructions executed functionally to
+	// drive warming and sampling. Run executes the program once, so it
+	// equals Instructions; RunParallel shares a single functional trace
+	// across all workers, so it also equals Instructions — rather than
+	// workers× it — which is the point of the shared-trace design.
+	FunctionalInstrs int64
+}
+
+// sampleState is the per-offset sampling state machine: it classifies each
+// instruction of the committed stream as functional-warming, detailed
+// warmup, or measured, drives one timing model accordingly, and collects
+// the per-window CPI samples. Run drives one instance inline; RunParallel
+// drives one per worker off a shared functional trace. Both paths go
+// through the same feed method, so a given (program, config, sampler)
+// yields bit-for-bit identical windows either way.
+type sampleState struct {
+	s   Sampler
+	cpu *sim.CPU
+	dec *sim.DecodedProgram
+
+	cpis         []float64
+	inDetail     bool
+	measureStart int64
+	windowInstrs int64
+
+	// Division-free classification: phase is the instruction index modulo
+	// the sampling period, and the measured window is phase in
+	// [mStart, mEnd). The old per-instruction i/WindowSize and /Interval
+	// divisions cost more than a cache probe; an incremental wrap is two
+	// compares.
+	phase  int64
+	period int64
+	mStart int64
+	mEnd   int64
+}
+
+func newSampleState(s Sampler, cfg sim.Config, dec *sim.DecodedProgram) *sampleState {
+	return &sampleState{
+		s:      s,
+		cpu:    sim.NewCPU(cfg),
+		dec:    dec,
+		period: s.WindowSize * s.Interval,
+		mStart: s.Offset * s.WindowSize,
+		mEnd:   (s.Offset + 1) * s.WindowSize,
+	}
+}
+
+// feed advances the state machine by one committed instruction.
+func (t *sampleState) feed(entry sim.TraceEntry) {
+	// classify: measured iff phase lies in the detailed window; detailed
+	// (but unmeasured) iff within Warmup instructions before the next
+	// detailed window, wrapping across the period boundary.
+	detailed, measured := false, false
+	ph := t.phase
+	if ph >= t.mStart && ph < t.mEnd {
+		detailed, measured = true, true
+	} else if t.s.Warmup > 0 {
+		d := t.mStart - ph
+		if d <= 0 {
+			d += t.period
+		}
+		if d <= t.s.Warmup {
+			detailed = true
+		}
+	}
+	if t.phase++; t.phase == t.period {
+		t.phase = 0
+	}
+
+	if detailed {
+		if !t.inDetail {
+			// Fresh pipeline over the warmed microarch state.
+			t.cpu.ResetTiming()
+			t.inDetail = true
+			t.measureStart = -1
+		}
+		if measured && t.measureStart < 0 {
+			t.measureStart = t.cpu.Stats().Cycles
+		}
+		t.cpu.FeedDecoded(t.dec, entry)
+		if measured {
+			t.windowInstrs++
+			if t.windowInstrs == t.s.WindowSize {
+				t.flush()
+			}
+		}
+	} else {
+		t.flush()
+		t.cpu.WarmFeedDecoded(t.dec, entry)
+	}
+}
+
+func (t *sampleState) flush() {
+	if t.windowInstrs > 0 {
+		c := t.cpu.Stats().Cycles - t.measureStart
+		t.cpis = append(t.cpis, float64(c)/float64(t.windowInstrs))
+	}
+	t.windowInstrs = 0
+	t.inDetail = false
+}
+
+// result folds the collected windows into a Result; ok is false when no
+// window completed (program shorter than one sampling period).
+func (t *sampleState) result(instrs, exitValue int64) (*Result, bool) {
+	t.flush()
+	if len(t.cpis) == 0 {
+		return nil, false
+	}
+	mean, std := meanStd(t.cpis)
+	rel := 0.0
+	if mean > 0 {
+		rel = 3 * std / (math.Sqrt(float64(len(t.cpis))) * mean)
+	}
+	return &Result{
+		EstimatedCycles: mean * float64(instrs),
+		Instructions:    instrs,
+		Windows:         len(t.cpis),
+		MeanCPI:         mean,
+		StdCPI:          std,
+		RelCI997:        rel,
+		ExitValue:       exitValue,
+	}, true
+}
+
+// fallbackDetailed is the exact path for programs shorter than one sampling
+// period: simulate everything in detail.
+func fallbackDetailed(prog *isa.Program, cfg sim.Config, maxInstrs int64) (*Result, error) {
+	st, err := sim.Simulate(prog, cfg, maxInstrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		EstimatedCycles:  float64(st.Cycles),
+		Instructions:     st.Instructions,
+		Windows:          0,
+		MeanCPI:          float64(st.Cycles) / float64(st.Instructions),
+		ExitValue:        st.ExitValue,
+		FunctionalInstrs: st.Instructions,
+	}, nil
 }
 
 // Run simulates prog under cfg with systematic sampling and returns the
 // cycle estimate. maxInstrs bounds the run.
 func Run(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64) (*Result, error) {
-	if s.WindowSize <= 0 || s.Interval <= 0 {
-		return nil, errors.New("smarts: window size and interval must be positive")
-	}
-	if s.Offset < 0 || s.Offset >= s.Interval {
-		return nil, errors.New("smarts: offset out of range")
+	if err := s.validate(); err != nil {
+		return nil, err
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	exe := sim.NewExecutor(prog)
-	cpu := sim.NewCPU(cfg) // holds the long-history state (caches, bpred)
-
-	var cpis []float64
-	inDetail := false      // pipeline currently running in detailed mode
-	var measureStart int64 // cycle counter at measured-window entry (-1: warming)
-	var windowInstrs int64 // measured instructions in the current window
-	period := s.WindowSize * s.Interval
-
-	// classify returns (detailed, measured) for instruction index i.
-	classify := func(i int64) (bool, bool) {
-		windowIdx := i / s.WindowSize
-		if windowIdx%s.Interval == s.Offset {
-			return true, true
-		}
-		if s.Warmup > 0 {
-			// Distance to the start of the next detailed window.
-			p := windowIdx / s.Interval
-			det := (p*s.Interval + s.Offset) * s.WindowSize
-			if i >= det {
-				det += period
-			}
-			if det-i <= s.Warmup {
-				return true, false
-			}
-		}
-		return false, false
-	}
-
-	flush := func() {
-		if windowInstrs > 0 {
-			c := cpu.Stats().Cycles - measureStart
-			cpis = append(cpis, float64(c)/float64(windowInstrs))
-		}
-		windowInstrs = 0
-		inDetail = false
-	}
+	state := newSampleState(s, cfg, exe.Decoded())
 
 	for !exe.Halted {
 		if exe.Count >= maxInstrs {
@@ -113,70 +225,47 @@ func Run(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64) (*Result
 		if !ok {
 			break
 		}
-		in := &prog.Instrs[entry.PC]
-
-		detailed, measured := classify(exe.Count - 1)
-		if detailed {
-			if !inDetail {
-				// Fresh pipeline over the warmed microarch state.
-				cpu.ResetTiming()
-				inDetail = true
-				measureStart = -1
-			}
-			if measured && measureStart < 0 {
-				measureStart = cpu.Stats().Cycles
-			}
-			cpu.Feed(in, entry)
-			if measured {
-				windowInstrs++
-				if windowInstrs == s.WindowSize {
-					flush()
-				}
-			}
-		} else {
-			flush()
-			cpu.WarmFeed(in, entry)
-		}
+		state.feed(entry)
 	}
-	flush()
-	if len(cpis) == 0 {
+	res, ok := state.result(exe.Count, exe.Regs[isa.RegRV])
+	if !ok {
 		// Program shorter than one sampling period: fall back to the
 		// detailed simulation of everything we executed.
-		st, err := sim.Simulate(prog, cfg, maxInstrs)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			EstimatedCycles: float64(st.Cycles),
-			Instructions:    st.Instructions,
-			Windows:         0,
-			MeanCPI:         float64(st.Cycles) / float64(st.Instructions),
-			ExitValue:       st.ExitValue,
-		}, nil
+		return fallbackDetailed(prog, cfg, maxInstrs)
 	}
+	res.FunctionalInstrs = exe.Count
+	return res, nil
+}
 
-	mean, std := meanStd(cpis)
-	rel := 0.0
-	if mean > 0 {
-		rel = 3 * std / (math.Sqrt(float64(len(cpis))) * mean)
-	}
-	return &Result{
-		EstimatedCycles: mean * float64(exe.Count),
-		Instructions:    exe.Count,
-		Windows:         len(cpis),
-		MeanCPI:         mean,
-		StdCPI:          std,
-		RelCI997:        rel,
-		ExitValue:       exe.Regs[isa.RegRV],
-	}, nil
+// traceChunkSize is the number of committed instructions per broadcast
+// chunk in RunParallel. 4096 entries keep channel operations three orders
+// of magnitude rarer than instructions while bounding buffering to a few
+// hundred KiB.
+const traceChunkSize = 4096
+
+// traceChunks is the size of the chunk pool, which bounds how far the
+// functional producer may run ahead of the slowest timing worker.
+const traceChunks = 8
+
+type traceChunk struct {
+	n    int
+	refs atomic.Int32
+	ents [traceChunkSize]sim.TraceEntry
 }
 
 // RunParallel draws `workers` independent sample sets concurrently — each
 // with a distinct window offset, the mechanism SMARTS prescribes for
 // independent draws — and pools their windows into one estimate. The pooled
 // mean CPI has ~workers× the sample count of a single Run, tightening the
-// confidence interval, and the runs execute on separate goroutines so wall
-// time stays near a single Run's on a multicore host. workers is clamped to
+// confidence interval.
+//
+// The program is executed functionally exactly once: a producer goroutine
+// interprets it and broadcasts the committed-instruction trace in reference
+// counted chunks to one timing worker per offset, each owning its own
+// caches and branch predictor. Workers apply backpressure through the
+// bounded chunk pool, so memory stays constant regardless of program
+// length, and the per-offset window populations are bit-for-bit identical
+// to what `workers` separate Runs would produce. workers is clamped to
 // s.Interval (offsets must be distinct) and workers <= 1 degrades to Run.
 func RunParallel(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64, workers int) (*Result, error) {
 	if int64(workers) > s.Interval {
@@ -185,32 +274,101 @@ func RunParallel(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64, 
 	if workers <= 1 {
 		return Run(prog, cfg, s, maxInstrs)
 	}
-	results := make([]*Result, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	exe := sim.NewExecutor(prog)
+	dec := exe.Decoded()
+
+	// Per-worker sampling state, offsets strided across the interval.
 	stride := s.Interval / int64(workers)
+	states := make([]*sampleState, workers)
+	for k := range states {
+		sk := s
+		sk.Offset = (s.Offset + int64(k)*stride) % s.Interval
+		states[k] = newSampleState(sk, cfg, dec)
+	}
+
+	free := make(chan *traceChunk, traceChunks)
+	for i := 0; i < traceChunks; i++ {
+		free <- new(traceChunk)
+	}
+	outs := make([]chan *traceChunk, workers)
+	for k := range outs {
+		outs[k] = make(chan *traceChunk, traceChunks)
+	}
+
+	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			sk := s
-			sk.Offset = (s.Offset + int64(k)*stride) % s.Interval
-			results[k], errs[k] = Run(prog, cfg, sk, maxInstrs)
+			state := states[k]
+			for ck := range outs[k] {
+				for i := 0; i < ck.n; i++ {
+					state.feed(ck.ents[i])
+				}
+				if ck.refs.Add(-1) == 0 {
+					free <- ck // pool cap covers every chunk: never blocks
+				}
+			}
 		}(k)
 	}
+
+	// Producer: the single functional pass.
+	var prodErr error
+producer:
+	for !exe.Halted {
+		ck := <-free
+		ck.n = 0
+		for ck.n < traceChunkSize && !exe.Halted {
+			if exe.Count >= maxInstrs {
+				prodErr = errors.New("smarts: instruction budget exceeded")
+				break
+			}
+			entry, ok, err := exe.Step()
+			if err != nil {
+				prodErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+			ck.ents[ck.n] = entry
+			ck.n++
+		}
+		if ck.n == 0 || prodErr != nil {
+			free <- ck
+			break producer
+		}
+		ck.refs.Store(int32(workers))
+		for k := range outs {
+			outs[k] <- ck
+		}
+	}
+	for k := range outs {
+		close(outs[k])
+	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if prodErr != nil {
+		return nil, prodErr
 	}
-	// A run shorter than one sampling period fell back to full detail and
-	// is exact; return it directly.
-	for _, r := range results {
-		if r.Windows == 0 {
-			return r, nil
+
+	results := make([]*Result, workers)
+	for k, state := range states {
+		r, ok := state.result(exe.Count, exe.Regs[isa.RegRV])
+		if !ok {
+			// A run shorter than one sampling period is exact in full
+			// detail; return that directly.
+			return fallbackDetailed(prog, cfg, maxInstrs)
 		}
+		results[k] = r
 	}
+
 	// Pool the window populations: weighted mean and total variance
 	// (within + between run means) over all windows.
 	var n float64
@@ -229,6 +387,7 @@ func RunParallel(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64, 
 		pooled.RelCI997 = 3 * pooled.StdCPI / (math.Sqrt(n) * pooled.MeanCPI)
 	}
 	pooled.EstimatedCycles = pooled.MeanCPI * float64(pooled.Instructions)
+	pooled.FunctionalInstrs = exe.Count // the single shared pass
 	return pooled, nil
 }
 
