@@ -442,6 +442,139 @@ func BenchmarkAblationSearch(b *testing.B) {
 	b.ReportMetric(hc/base, "hillclimb-vs-ga")
 }
 
+// --- Analytics benchmarks (model fitting / design / search hot paths) ---
+//
+// These are self-contained: they run on synthetic data over the joint space
+// so they need no simulation and no shared study, and CI can gate them at
+// -benchtime=1x (see cmd/benchcheck -set model).
+
+// analyticsData builds a synthetic coded dataset over the 25-variable joint
+// space with a hinge-shaped, interacting response in the spirit of Figure 3.
+func analyticsData(n int, seed int64) *model.Dataset {
+	space := doe.JointSpace()
+	rng := rand.New(rand.NewSource(seed))
+	pts := space.LatinHypercube(n, rng)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i, p := range pts {
+		x := space.Code(p)
+		xs[i] = x
+		v := 1000 - 200*x[0] + 100*x[1] + 50*x[0]*x[1] + 80*x[14]*x[14] - 40*x[20]
+		if x[2] > 0.3 {
+			v += 600 * (x[2] - 0.3)
+		}
+		ys[i] = v + 5*rng.NormFloat64()
+	}
+	d, err := model.NewDataset(xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BenchmarkFitMARS times a full MARS fit (parallel forward pass +
+// Cholesky drop-one backward pruning) on a 200-point joint-space dataset.
+func BenchmarkFitMARS(b *testing.B) {
+	data := analyticsData(200, 61)
+	var terms int
+	for i := 0; i < b.N; i++ {
+		m, err := model.FitMARS(data, model.MARSOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		terms = m.NumParams()
+	}
+	b.ReportMetric(float64(terms), "terms")
+}
+
+// BenchmarkDOptimal times the incremental Fedorov exchange at the paper's
+// hardest setting — the 25-variable interaction expansion (326 terms) — and
+// reports its speedup over the retained reference loop (DOptimalRef), which
+// recomputes every candidate variance with a full O(k²) quadratic form.
+func BenchmarkDOptimal(b *testing.B) {
+	space := doe.JointSpace()
+	opt := doe.DOptions{Expansion: doe.ExpandInteractions, Candidates: 120, MaxSweeps: 2}
+	var refT, fastT time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		ref := doe.DOptimalRef(space, 40, rand.New(rand.NewSource(71)), opt)
+		refT = time.Since(start)
+		start = time.Now()
+		fast := doe.DOptimal(space, 40, rand.New(rand.NewSource(71)), opt)
+		fastT = time.Since(start)
+		if len(ref.Points) != 40 || len(fast.Points) != 40 {
+			b.Fatal("wrong design size")
+		}
+	}
+	b.ReportMetric(refT.Seconds()/fastT.Seconds(), "speedup-x")
+	b.ReportMetric(fastT.Seconds()*1e3, "fast-ms")
+}
+
+// BenchmarkCrossValidate times 5-fold CV of a MARS fitter serially and on
+// the full worker pool; the two estimates must agree bit-for-bit.
+func BenchmarkCrossValidate(b *testing.B) {
+	data := analyticsData(150, 67)
+	fit := func(d *model.Dataset) (model.Model, error) {
+		return model.FitMARS(d, model.MARSOptions{Workers: 1})
+	}
+	var serialT, parT time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		serial, err := model.CrossValidateParallel(data, 5, 1, 1, fit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialT = time.Since(start)
+		start = time.Now()
+		parallel, err := model.CrossValidateParallel(data, 5, 1, 0, fit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parT = time.Since(start)
+		if serial != parallel {
+			b.Fatalf("parallel CV %v diverged from serial %v", parallel, serial)
+		}
+	}
+	b.ReportMetric(serialT.Seconds()/parT.Seconds(), "speedup-x")
+	b.ReportMetric(parT.Seconds()*1e3, "par-ms")
+}
+
+// BenchmarkGASearch times the GA with batched parallel fitness against the
+// serial path on an RBF surrogate; the search trajectory is identical, so
+// the best point must match exactly.
+func BenchmarkGASearch(b *testing.B) {
+	data := analyticsData(150, 73)
+	m, err := model.FitRBF(data, model.RBFOptions{Kernel: model.Multiquadric})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := search.Problem{Space: doe.JointSpace(), Model: m}
+	opts := search.GAOptions{Population: 60, Generations: 30}
+	run := func(w int) (*search.Result, time.Duration) {
+		o := opts
+		o.Workers = w
+		start := time.Now()
+		res := search.Optimize(prob, o, rand.New(rand.NewSource(7)))
+		return res, time.Since(start)
+	}
+	var serialT, parT time.Duration
+	for i := 0; i < b.N; i++ {
+		serial, st := run(1)
+		parallel, pt := run(0)
+		serialT, parT = st, pt
+		if serial.Predicted != parallel.Predicted {
+			b.Fatalf("parallel GA %v diverged from serial %v", parallel.Predicted, serial.Predicted)
+		}
+		for j := range serial.Point {
+			if serial.Point[j] != parallel.Point[j] {
+				b.Fatal("parallel GA selected a different point")
+			}
+		}
+	}
+	b.ReportMetric(serialT.Seconds()/parT.Seconds(), "speedup-x")
+	b.ReportMetric(parT.Seconds()*1e3, "par-ms")
+}
+
 // BenchmarkSMARTSSpeedup reports the wall-clock ratio of detailed vs sampled
 // simulation on the largest ref workload, along with the sampled estimate's
 // relative error against the detailed cycle count — the two numbers that

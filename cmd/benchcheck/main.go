@@ -1,14 +1,25 @@
-// benchcheck parses `go test -bench` output for the simulator benchmarks on
-// stdin, writes the headline numbers to a JSON file at the repo root, and
-// fails (exit 1) when detailed-simulation throughput has regressed more
-// than -max-regress relative to the committed baseline. CI runs it after
-// the benchmark step so a simulator slowdown fails the build instead of
-// landing silently:
+// benchcheck parses `go test -bench` output on stdin, writes the headline
+// numbers to a JSON file at the repo root, and fails (exit 1) when a
+// committed baseline shows a regression beyond -max-regress. CI runs it
+// after the benchmark step so a slowdown fails the build instead of landing
+// silently. Two benchmark sets are understood:
+//
+//	-set sim (default): simulator throughput + SMARTS sampling,
+//	    gated on detailed-simulation instructions per second.
 //
 //	go test -run '^$' -bench 'SimulatorThroughput$|SMARTSSpeedup$' -benchtime=1x . |
 //	    go run ./cmd/benchcheck -baseline BENCH_sim.json -out BENCH_sim.json
 //
-// Regenerate the baseline by committing the freshly written file.
+//	-set model: the analytics layer (MARS fit, D-optimal exchange,
+//	    cross-validation, GA search), gated on wall-clock per stage plus a
+//	    hard floor on the D-optimal incremental-vs-reference speedup (the
+//	    one analytics ratio that is algorithmic rather than core-count
+//	    dependent).
+//
+//	go test -run '^$' -bench 'FitMARS$|DOptimal$|CrossValidate$|GASearch$' -benchtime=1x . |
+//	    go run ./cmd/benchcheck -set model -baseline BENCH_model.json -out BENCH_model.json
+//
+// Regenerate a baseline by committing the freshly written file.
 package main
 
 import (
@@ -21,8 +32,8 @@ import (
 	"strings"
 )
 
-// Numbers is the schema of BENCH_sim.json.
-type Numbers struct {
+// SimNumbers is the schema of BENCH_sim.json.
+type SimNumbers struct {
 	// InstrsPerSec is detailed-simulation throughput from
 	// BenchmarkSimulatorThroughput (committed instructions per second).
 	InstrsPerSec float64 `json:"instrs_per_sec"`
@@ -34,51 +45,173 @@ type Numbers struct {
 	SMARTSRelErrPct float64 `json:"smarts_est_relerr_pct"`
 }
 
+// ModelNumbers is the schema of BENCH_model.json. The *Ms fields are
+// wall-clock milliseconds of the optimized path; lower is better.
+type ModelNumbers struct {
+	FitMARSMs        float64 `json:"fit_mars_ms"`
+	DOptimalMs       float64 `json:"doptimal_ms"`
+	DOptimalSpeedupX float64 `json:"doptimal_speedup_x"`
+	CrossValMs       float64 `json:"crossval_ms"`
+	CrossValSpeedupX float64 `json:"crossval_speedup_x"`
+	GASearchMs       float64 `json:"ga_ms"`
+	GASpeedupX       float64 `json:"ga_speedup_x"`
+}
+
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_sim.json", "committed baseline to compare against (missing file skips the check)")
-	outPath := flag.String("out", "BENCH_sim.json", "where to write the fresh numbers")
-	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated fractional throughput regression")
+	set := flag.String("set", "sim", "benchmark set to parse and gate: sim|model")
+	baselinePath := flag.String("baseline", "", "committed baseline to compare against (default BENCH_<set>.json; missing file skips the check)")
+	outPath := flag.String("out", "", "where to write the fresh numbers (default BENCH_<set>.json)")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated fractional regression")
+	minDOptSpeedup := flag.Float64("min-doptimal-speedup", 3, "hard floor on the model set's doptimal_speedup_x")
 	flag.Parse()
 
-	cur, err := parse(bufio.NewScanner(os.Stdin))
+	def := "BENCH_" + *set + ".json"
+	if *baselinePath == "" {
+		*baselinePath = def
+	}
+	if *outPath == "" {
+		*outPath = def
+	}
+
+	lines, err := benchLines(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fatal(err)
 	}
+	switch *set {
+	case "sim":
+		checkSim(lines, *baselinePath, *outPath, *maxRegress)
+	case "model":
+		checkModel(lines, *baselinePath, *outPath, *maxRegress, *minDOptSpeedup)
+	default:
+		fatal(fmt.Errorf("benchcheck: unknown -set %q (sim|model)", *set))
+	}
+}
 
-	var base *Numbers
-	if data, err := os.ReadFile(*baselinePath); err == nil {
-		base = &Numbers{}
-		if err := json.Unmarshal(data, base); err != nil {
-			fatal(fmt.Errorf("benchcheck: bad baseline %s: %v", *baselinePath, err))
+func checkSim(lines []benchLine, baselinePath, outPath string, maxRegress float64) {
+	cur := &SimNumbers{}
+	var haveThroughput, haveSMARTS bool
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l.name, "BenchmarkSimulatorThroughput"):
+			if l.metrics["ns/op"] > 0 {
+				cur.InstrsPerSec = l.metrics["instrs/op"] / (l.metrics["ns/op"] * 1e-9)
+				haveThroughput = true
+			}
+		case strings.HasPrefix(l.name, "BenchmarkSMARTSSpeedup"):
+			cur.SMARTSSpeedupX = l.metrics["speedup-x"]
+			cur.SMARTSRelErrPct = l.metrics["est-relerr-%"]
+			haveSMARTS = true
 		}
 	}
-
-	data, _ := json.MarshalIndent(cur, "", "  ")
-	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
-		fatal(err)
+	if !haveThroughput || !haveSMARTS {
+		fatal(fmt.Errorf("benchcheck: missing benchmark output (throughput=%v smarts=%v)", haveThroughput, haveSMARTS))
 	}
 
+	base := &SimNumbers{}
+	writeAndLoadBaseline(cur, base, baselinePath, outPath)
 	fmt.Printf("benchcheck: %.3g instrs/sec, SMARTS %.2fx (%.1f%% err)\n",
 		cur.InstrsPerSec, cur.SMARTSSpeedupX, cur.SMARTSRelErrPct)
-	if base == nil || base.InstrsPerSec <= 0 {
+	if base.InstrsPerSec <= 0 {
 		fmt.Println("benchcheck: no baseline, skipping regression check")
 		return
 	}
 	ratio := cur.InstrsPerSec / base.InstrsPerSec
 	fmt.Printf("benchcheck: throughput %.2fx of baseline (%.3g instrs/sec)\n", ratio, base.InstrsPerSec)
-	if ratio < 1-*maxRegress {
+	if ratio < 1-maxRegress {
 		fatal(fmt.Errorf("benchcheck: simulator throughput regressed %.0f%% (limit %.0f%%)",
-			100*(1-ratio), 100**maxRegress))
+			100*(1-ratio), 100*maxRegress))
 	}
 }
 
-// parse extracts the metrics from `go test -bench` result lines, e.g.
+func checkModel(lines []benchLine, baselinePath, outPath string, maxRegress, minDOptSpeedup float64) {
+	cur := &ModelNumbers{}
+	var have int
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l.name, "BenchmarkFitMARS"):
+			cur.FitMARSMs = l.metrics["ns/op"] * 1e-6
+			have++
+		case strings.HasPrefix(l.name, "BenchmarkDOptimal"):
+			cur.DOptimalMs = l.metrics["fast-ms"]
+			cur.DOptimalSpeedupX = l.metrics["speedup-x"]
+			have++
+		case strings.HasPrefix(l.name, "BenchmarkCrossValidate"):
+			cur.CrossValMs = l.metrics["par-ms"]
+			cur.CrossValSpeedupX = l.metrics["speedup-x"]
+			have++
+		case strings.HasPrefix(l.name, "BenchmarkGASearch"):
+			cur.GASearchMs = l.metrics["par-ms"]
+			cur.GASpeedupX = l.metrics["speedup-x"]
+			have++
+		}
+	}
+	if have != 4 {
+		fatal(fmt.Errorf("benchcheck: model set needs 4 benchmarks, parsed %d", have))
+	}
+
+	base := &ModelNumbers{}
+	writeAndLoadBaseline(cur, base, baselinePath, outPath)
+	fmt.Printf("benchcheck: mars %.0fms, doptimal %.0fms (%.1fx vs ref), cv %.0fms (%.2fx), ga %.0fms (%.2fx)\n",
+		cur.FitMARSMs, cur.DOptimalMs, cur.DOptimalSpeedupX,
+		cur.CrossValMs, cur.CrossValSpeedupX, cur.GASearchMs, cur.GASpeedupX)
+	if cur.DOptimalSpeedupX < minDOptSpeedup {
+		fatal(fmt.Errorf("benchcheck: doptimal incremental speedup %.2fx below floor %.1fx",
+			cur.DOptimalSpeedupX, minDOptSpeedup))
+	}
+	if base.FitMARSMs <= 0 {
+		fmt.Println("benchcheck: no baseline, skipping regression check")
+		return
+	}
+	// Wall-clock gates: a stage is a regression when it got slower than the
+	// baseline by more than max-regress. (The CV/GA speedup-x ratios are
+	// core-count dependent, so they are recorded but not gated.)
+	stages := []struct {
+		name      string
+		cur, base float64
+	}{
+		{"fit_mars_ms", cur.FitMARSMs, base.FitMARSMs},
+		{"doptimal_ms", cur.DOptimalMs, base.DOptimalMs},
+		{"crossval_ms", cur.CrossValMs, base.CrossValMs},
+		{"ga_ms", cur.GASearchMs, base.GASearchMs},
+	}
+	for _, s := range stages {
+		if s.base <= 0 {
+			continue
+		}
+		ratio := s.cur / s.base
+		fmt.Printf("benchcheck: %s %.2fx of baseline (%.0fms)\n", s.name, ratio, s.base)
+		if ratio > 1+maxRegress {
+			fatal(fmt.Errorf("benchcheck: %s regressed %.0f%% (limit %.0f%%)",
+				s.name, 100*(ratio-1), 100*maxRegress))
+		}
+	}
+}
+
+// writeAndLoadBaseline reads the baseline JSON into base (leaving it zeroed
+// when the file is missing) and writes cur to outPath.
+func writeAndLoadBaseline(cur, base interface{}, baselinePath, outPath string) {
+	if data, err := os.ReadFile(baselinePath); err == nil {
+		if err := json.Unmarshal(data, base); err != nil {
+			fatal(fmt.Errorf("benchcheck: bad baseline %s: %v", baselinePath, err))
+		}
+	}
+	data, _ := json.MarshalIndent(cur, "", "  ")
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// benchLine is one parsed `go test -bench` result line, e.g.
 //
 //	BenchmarkSimulatorThroughput  1  36981269 ns/op  2217653 instrs/op
 //	BenchmarkSMARTSSpeedup        1  319079035 ns/op  5.688 est-relerr-%  1.180 speedup-x
-func parse(sc *bufio.Scanner) (*Numbers, error) {
-	n := &Numbers{}
-	var haveThroughput, haveSMARTS bool
+type benchLine struct {
+	name    string
+	metrics map[string]float64
+}
+
+func benchLines(sc *bufio.Scanner) ([]benchLine, error) {
+	var out []benchLine
 	for sc.Scan() {
 		f := strings.Fields(sc.Text())
 		if len(f) < 2 || !strings.HasPrefix(f[0], "Benchmark") {
@@ -93,25 +226,12 @@ func parse(sc *bufio.Scanner) (*Numbers, error) {
 			}
 			metrics[f[i+1]] = v
 		}
-		switch {
-		case strings.HasPrefix(f[0], "BenchmarkSimulatorThroughput"):
-			if metrics["ns/op"] > 0 {
-				n.InstrsPerSec = metrics["instrs/op"] / (metrics["ns/op"] * 1e-9)
-				haveThroughput = true
-			}
-		case strings.HasPrefix(f[0], "BenchmarkSMARTSSpeedup"):
-			n.SMARTSSpeedupX = metrics["speedup-x"]
-			n.SMARTSRelErrPct = metrics["est-relerr-%"]
-			haveSMARTS = true
-		}
+		out = append(out, benchLine{name: f[0], metrics: metrics})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if !haveThroughput || !haveSMARTS {
-		return nil, fmt.Errorf("benchcheck: missing benchmark output (throughput=%v smarts=%v)", haveThroughput, haveSMARTS)
-	}
-	return n, nil
+	return out, nil
 }
 
 func fatal(err error) {

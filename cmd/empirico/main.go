@@ -33,7 +33,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed for designs and search")
 		cacheDir = flag.String("cache", "", "directory for the measurement cache")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
-		workers  = flag.Int("workers", 0, "measurement farm workers (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "measurement farm + analytics workers (0 = GOMAXPROCS, 1 = serial; results identical)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()

@@ -36,7 +36,7 @@ func (h *Harness) RunStudy(names []string, class workloads.InputClass) (*Study, 
 		if err != nil {
 			return nil, err
 		}
-		ms, err := FitAll(pd.Train)
+		ms, err := FitAllParallel(pd.Train, h.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", w.Key(), err)
 		}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/doe"
 	"repro/internal/farm"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/workloads"
 )
 
@@ -79,8 +80,11 @@ type Harness struct {
 	// loops). Zero means the default of 500M.
 	MaxInstrs int64
 
-	// Workers bounds the measurement farm's concurrency. Zero means
-	// runtime.GOMAXPROCS(0); one reproduces the serial path.
+	// Workers bounds the measurement farm's concurrency AND the analytics
+	// side (model fitting, cross-validation folds, Fedorov exchange scans,
+	// GA fitness batches). Zero means runtime.GOMAXPROCS(0); one
+	// reproduces the serial path. Every analytics result is bit-for-bit
+	// identical for any value.
 	Workers int
 
 	mu    sync.Mutex
@@ -207,7 +211,7 @@ func (h *Harness) rngFor(purpose string) *rand.Rand {
 // and seed, so measurements amortize).
 func (h *Harness) TrainDesign() []doe.Point {
 	des := doe.DOptimal(h.Space(), h.Scale.TrainPoints, h.rngFor("train-design"),
-		doe.DOptions{Expansion: h.Scale.DesignExpansion, MaxSweeps: 8})
+		doe.DOptions{Expansion: h.Scale.DesignExpansion, MaxSweeps: 8, Workers: h.Workers})
 	return des.Points
 }
 
@@ -303,29 +307,45 @@ func FitRBF(data *model.Dataset) (model.Model, error) {
 // FitAll fits the three modeling techniques of the paper on one dataset:
 // linear regression with two-factor interactions on the raw response, MARS
 // on the log response, and the hybrid RBF-RT network on the log response.
+// It is FitAllParallel at the default worker count.
 func FitAll(data *model.Dataset) (map[string]model.Model, error) {
-	out := map[string]model.Model{}
-	lin, err := model.FitLinear(data, doe.ExpandInteractions)
-	if err != nil {
-		return nil, err
+	return FitAllParallel(data, 0)
+}
+
+// FitAllParallel is FitAll with the four independent model fits run
+// concurrently on up to workers goroutines (0 = GOMAXPROCS). Each fit only
+// reads the shared dataset, so the fitted models are identical to a serial
+// run; errors are reported with the serial path's priority (linear first).
+func FitAllParallel(data *model.Dataset, workers int) (map[string]model.Model, error) {
+	var (
+		lin, mars, rbf, marsRaw model.Model
+		errs                    [4]error
+	)
+	par.Do(workers,
+		func() {
+			m, err := model.FitLinear(data, doe.ExpandInteractions)
+			lin, errs[0] = m, err
+		},
+		func() {
+			m, err := model.FitMARS(model.LogDataset(data), model.MARSOptions{Workers: workers})
+			if err == nil {
+				mars = model.LogModel{Inner: m}
+			}
+			errs[1] = err
+		},
+		func() { rbf, errs[2] = FitRBF(data) },
+		func() {
+			// Raw-scale MARS for coefficient interpretation (Table 4
+			// reports effects in cycles).
+			marsRaw, errs[3] = model.FitMARS(data, model.MARSOptions{Workers: workers})
+		},
+	)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	out["linear"] = lin
-	mars, err := model.FitMARS(model.LogDataset(data), model.MARSOptions{})
-	if err != nil {
-		return nil, err
-	}
-	out["mars"] = model.LogModel{Inner: mars}
-	rbf, err := FitRBF(data)
-	if err != nil {
-		return nil, err
-	}
-	out["rbf"] = rbf
-	// Raw-scale MARS for coefficient interpretation (Table 4 reports
-	// effects in cycles).
-	marsRaw, err := model.FitMARS(data, model.MARSOptions{})
-	if err != nil {
-		return nil, err
-	}
-	out["mars-raw"] = marsRaw
-	return out, nil
+	return map[string]model.Model{
+		"linear": lin, "mars": mars, "rbf": rbf, "mars-raw": marsRaw,
+	}, nil
 }

@@ -28,7 +28,7 @@ func (h *Harness) RefineToAccuracy(w workloads.Workload, targetErrPct float64,
 	}
 	rng := h.rngFor("refine-" + w.Key())
 	design := doe.DOptimal(h.Space(), initial, rng,
-		doe.DOptions{Expansion: h.Scale.DesignExpansion, MaxSweeps: 6})
+		doe.DOptions{Expansion: h.Scale.DesignExpansion, MaxSweeps: 6, Workers: h.Workers})
 	points := design.Points
 
 	fitter := func(d *model.Dataset) (model.Model, error) { return FitRBF(d) }
@@ -43,7 +43,7 @@ func (h *Harness) RefineToAccuracy(w workloads.Workload, targetErrPct float64,
 		if data.Len() < 25 {
 			folds = 3
 		}
-		cv, err := model.CrossValidate(data, folds, h.Seed, fitter)
+		cv, err := model.CrossValidateParallel(data, folds, h.Seed, h.Workers, fitter)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -58,7 +58,7 @@ func (h *Harness) RefineToAccuracy(w workloads.Workload, targetErrPct float64,
 			return m, points, history, nil
 		}
 		aug := doe.AugmentDOptimal(h.Space(), points, step, rng,
-			doe.DOptions{Expansion: h.Scale.DesignExpansion, MaxSweeps: 4})
+			doe.DOptions{Expansion: h.Scale.DesignExpansion, MaxSweeps: 4, Workers: h.Workers})
 		points = aug.Points
 	}
 }

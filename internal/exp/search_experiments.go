@@ -89,6 +89,7 @@ func (s *Study) SearchSettings(configs []NamedConfig) ([]SearchResult, error) {
 				search.GAOptions{
 					Population:  s.Harness.Scale.GAPopulation,
 					Generations: s.Harness.Scale.GAGenerations,
+					Workers:     s.Harness.Workers,
 				}, rng)
 			out = append(out, SearchResult{
 				Program:   pd.Workload.Key(),

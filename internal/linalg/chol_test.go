@@ -1,0 +1,109 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSPD builds A = BᵀB + I, which is symmetric positive definite.
+func randomSPD(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.At(k, i) * b.At(k, j)
+			}
+			if i == j {
+				s += 1
+			}
+			a.Set(i, j, s)
+		}
+	}
+	return a
+}
+
+func TestCholeskySolveMatchesDirectSolve(t *testing.T) {
+	a := randomSPD(8, 1)
+	rng := rand.New(rand.NewSource(2))
+	b := make([]float64, 8)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := c.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual check: A·x ≈ b.
+	ax := a.MulVec(x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-9 {
+			t.Fatalf("residual %v at %d", ax[i]-b[i], i)
+		}
+	}
+	if _, err := c.Solve(make([]float64, 3)); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestCholeskyInverseDiagAndLogDet(t *testing.T) {
+	a := randomSPD(7, 3)
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := c.InverseDiag()
+	for i := range diag {
+		if math.Abs(diag[i]-inv.At(i, i)) > 1e-9 {
+			t.Fatalf("InverseDiag[%d] = %v, want %v", i, diag[i], inv.At(i, i))
+		}
+	}
+	if got, want := c.LogDet(), LogDetGram(identityFactor(a)); math.IsNaN(got) || math.Abs(got-want) > 1e-8 {
+		t.Fatalf("LogDet = %v, want %v", got, want)
+	}
+}
+
+// identityFactor returns a matrix X with XᵀX = a: since a = LLᵀ, X = Lᵀ.
+func identityFactor(a *Matrix) *Matrix {
+	c, err := FactorCholesky(a)
+	if err != nil {
+		panic(err)
+	}
+	n := a.Rows
+	x := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x.Set(i, j, c.l.At(j, i))
+		}
+	}
+	return x
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1) // indefinite
+	if _, err := FactorCholesky(a); err == nil {
+		t.Error("indefinite matrix should fail")
+	}
+	r := NewMatrix(2, 3)
+	if _, err := FactorCholesky(r); err == nil {
+		t.Error("non-square matrix should fail")
+	}
+}

@@ -3,6 +3,8 @@ package model
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/par"
 )
 
 // CrossValidate estimates a fitting procedure's prediction error by k-fold
@@ -10,7 +12,21 @@ import (
 // held-out folds. It is the assessment tool to reach for when simulations
 // are too expensive for an independent test design — the alternative the
 // paper's GCV/BIC criteria approximate analytically.
+//
+// It is the serial reference for CrossValidateParallel, which produces the
+// identical estimate on a worker pool.
 func CrossValidate(data *Dataset, k int, seed int64,
+	fit func(*Dataset) (Model, error)) (float64, error) {
+	return CrossValidateParallel(data, k, seed, 1, fit)
+}
+
+// CrossValidateParallel is CrossValidate with the k independent folds fitted
+// and scored on up to workers goroutines (0 = GOMAXPROCS). Each fold reads
+// only its own slice of the shared permutation and accumulates its own
+// partial error, and the partials are combined in fold order — so the
+// estimate is bit-for-bit identical for every worker count. fit must be
+// safe for concurrent calls on distinct datasets.
+func CrossValidateParallel(data *Dataset, k int, seed int64, workers int,
 	fit func(*Dataset) (Model, error)) (float64, error) {
 	n := data.Len()
 	if k < 2 || k > n {
@@ -18,8 +34,13 @@ func CrossValidate(data *Dataset, k int, seed int64,
 	}
 	perm := rand.New(rand.NewSource(seed)).Perm(n)
 
-	totalErr, counted := 0.0, 0
-	for fold := 0; fold < k; fold++ {
+	type foldResult struct {
+		sumErr float64
+		count  int
+		err    error
+	}
+	results := make([]foldResult, k)
+	par.For(k, workers, func(fold int) {
 		var trainX, testX [][]float64
 		var trainY, testY []float64
 		for i, idx := range perm {
@@ -33,13 +54,14 @@ func CrossValidate(data *Dataset, k int, seed int64,
 		}
 		trainDS, err := NewDataset(trainX, trainY)
 		if err != nil {
-			return 0, err
+			results[fold].err = err
+			return
 		}
 		m, err := fit(trainDS)
 		if err != nil {
 			// A fold can be degenerate (e.g. all-identical responses);
 			// skip rather than fail the whole estimate.
-			continue
+			return
 		}
 		for i, x := range testX {
 			if testY[i] == 0 {
@@ -49,9 +71,18 @@ func CrossValidate(data *Dataset, k int, seed int64,
 			if e < 0 {
 				e = -e
 			}
-			totalErr += 100 * e / abs(testY[i])
-			counted++
+			results[fold].sumErr += 100 * e / abs(testY[i])
+			results[fold].count++
 		}
+	})
+
+	totalErr, counted := 0.0, 0
+	for _, r := range results {
+		if r.err != nil {
+			return 0, r.err
+		}
+		totalErr += r.sumErr
+		counted += r.count
 	}
 	if counted == 0 {
 		return 0, fmt.Errorf("model: cross-validation produced no usable folds")

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/linalg"
+	"repro/internal/par"
 )
 
 // Hinge is one spline factor: (x_v − t)₊ when Pos, (t − x_v)₊ otherwise.
@@ -78,6 +79,11 @@ type MARSOptions struct {
 	MaxDegree int // maximum interaction order (default 2, as in the paper)
 	MaxKnots  int // candidate knots per variable (default 8 quantiles)
 	Penalty   float64
+	// Workers bounds the forward-pass candidate-scoring concurrency
+	// (0 = GOMAXPROCS, 1 = serial). The fitted model is bit-for-bit
+	// identical for every value: candidate gains are computed
+	// independently and the winner is selected in enumeration order.
+	Workers int
 }
 
 func (o MARSOptions) withDefaults(dim, n int) MARSOptions {
@@ -135,32 +141,43 @@ func FitMARS(data *Dataset, opt MARSOptions) (*MARSModel, error) {
 	knotsFor := knotTable(data, opt.MaxKnots)
 
 	for len(bases) < opt.MaxTerms {
+		// Enumerate all (parent, var, knot) candidates in the serial scan
+		// order, score them on the worker pool (each gain depends only on
+		// the shared read-only q/r state), then pick the first strict
+		// maximum — exactly the serial selection, at any worker count.
 		type cand struct {
 			parent int
 			v      int
 			t      float64
-			gain   float64
 		}
-		best := cand{gain: 1e-9}
+		var cands []cand
 		for pi, parent := range bases {
 			if parent.degree() >= opt.MaxDegree {
 				continue
 			}
-			pcol := cols[pi]
 			for v := 0; v < dim; v++ {
 				if parent.usesVar(v) {
 					continue
 				}
 				for _, t := range knotsFor[v] {
-					c1, c2 := hingeCols(data, pcol, v, t)
-					g := pairGain(c1, c2, q, r)
-					if g > best.gain {
-						best = cand{pi, v, t, g}
-					}
+					cands = append(cands, cand{pi, v, t})
 				}
 			}
 		}
-		if best.gain <= 1e-9 {
+		gains := make([]float64, len(cands))
+		par.For(len(cands), opt.Workers, func(i int) {
+			c := cands[i]
+			c1, c2 := hingeCols(data, cols[c.parent], c.v, c.t)
+			gains[i] = pairGain(c1, c2, q, r)
+		})
+		best, bestGain := cand{}, 1e-9
+		bestI := -1
+		for i, g := range gains {
+			if g > bestGain {
+				best, bestGain, bestI = cands[i], g, i
+			}
+		}
+		if bestI < 0 {
 			break
 		}
 		parent := bases[best.parent]
@@ -174,73 +191,131 @@ func FitMARS(data *Dataset, opt MARSOptions) (*MARSModel, error) {
 		pushColumn(c2)
 	}
 
-	// Backward pruning by GCV.
-	fit := func(keep []int) ([]float64, float64, error) {
-		rows := make([][]float64, n)
-		for i := 0; i < n; i++ {
-			row := make([]float64, len(keep))
-			for j, bi := range keep {
-				row[j] = cols[bi][i]
+	// Backward pruning by GCV, on a cached column Gram instead of one full
+	// least-squares refit per (level, dropped term). The Gram G = XᵀX and
+	// moment vector Xᵀy over all forward-pass columns are computed once
+	// (O(n·p²)); each pruning level then needs a single O(m³) Cholesky of
+	// the kept submatrix, after which every drop candidate is scored in
+	// O(1) by the classic drop-one identity
+	//
+	//	SSE(S \ {j}) = SSE(S) + βⱼ² / (G_S⁻¹)ⱼⱼ,
+	//
+	// equal (in exact arithmetic) to the SSE of a full refit without j.
+	p := len(cols)
+	gram := linalg.NewMatrix(p, p)
+	par.For(p, opt.Workers, func(i int) {
+		gi := gram.Row(i)
+		for j := 0; j <= i; j++ {
+			gi[j] = linalg.Dot(cols[i], cols[j])
+		}
+	})
+	for i := 0; i < p; i++ { // mirror the lower triangle
+		for j := i + 1; j < p; j++ {
+			gram.Set(i, j, gram.At(j, i))
+		}
+	}
+	moment := make([]float64, p)
+	for i := 0; i < p; i++ {
+		moment[i] = linalg.Dot(cols[i], data.Y)
+	}
+	yty := linalg.Dot(data.Y, data.Y)
+
+	// solveSub factors the kept submatrix and returns the normal-equation
+	// coefficients, the diagonal of the inverse, and the training SSE. A
+	// tiny ridge (matching linalg.LeastSquares' rank-deficiency fallback)
+	// rescues exactly collinear hinge pairs.
+	solveSub := func(idx []int) (beta, invDiag []float64, sse float64, ok bool) {
+		m := len(idx)
+		gs := linalg.NewMatrix(m, m)
+		bs := make([]float64, m)
+		for a, ia := range idx {
+			bs[a] = moment[ia]
+			ga := gs.Row(a)
+			gia := gram.Row(ia)
+			for b, ib := range idx {
+				ga[b] = gia[ib]
 			}
-			rows[i] = row
 		}
-		a := linalg.FromRows(rows)
-		coef, err := linalg.LeastSquares(a, data.Y)
+		ch, err := linalg.FactorCholesky(gs)
 		if err != nil {
-			return nil, 0, err
+			for a := 0; a < m; a++ {
+				gs.Set(a, a, gs.At(a, a)+1e-8)
+			}
+			if ch, err = linalg.FactorCholesky(gs); err != nil {
+				return nil, nil, 0, false
+			}
 		}
-		return coef, linalg.SSE(a.MulVec(coef), data.Y), nil
+		if beta, err = ch.Solve(bs); err != nil {
+			return nil, nil, 0, false
+		}
+		sse = yty - linalg.Dot(beta, bs)
+		if sse < 0 {
+			sse = 0
+		}
+		return beta, ch.InverseDiag(), sse, true
 	}
 	effParams := func(terms int) float64 {
 		return float64(terms) + opt.Penalty*float64(terms-1)/2
 	}
 
-	keep := make([]int, len(bases))
-	for i := range keep {
-		keep[i] = i
+	cur := make([]int, p)
+	for i := range cur {
+		cur[i] = i
 	}
-	coef, sse, err := fit(keep)
+	bestKeep := append([]int{}, cur...)
+	bestGCV := math.Inf(1)
+	beta, invDiag, sse, ok := solveSub(cur)
+	if ok {
+		bestGCV = GCV(sse, n, effParams(len(cur)))
+	}
+	for ok && len(cur) > 1 {
+		// Score every single-term drop from the shared factorization;
+		// never drop the intercept (position 0).
+		bestJ, bestLocalGCV := -1, math.Inf(1)
+		for j := 1; j < len(cur); j++ {
+			d := invDiag[j]
+			if d <= 0 {
+				continue
+			}
+			g := GCV(sse+beta[j]*beta[j]/d, n, effParams(len(cur)-1))
+			if g < bestLocalGCV {
+				bestJ, bestLocalGCV = j, g
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		cur = append(cur[:bestJ], cur[bestJ+1:]...)
+		if beta, invDiag, sse, ok = solveSub(cur); !ok {
+			break
+		}
+		if g := GCV(sse, n, effParams(len(cur))); g < bestGCV {
+			bestGCV = g
+			bestKeep = append(bestKeep[:0], cur...)
+		}
+	}
+
+	// Final refit of the winning subset by QR, the same solver the
+	// per-trial path used, so reported coefficients keep its accuracy.
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(bestKeep))
+		for j, bi := range bestKeep {
+			row[j] = cols[bi][i]
+		}
+		rows[i] = row
+	}
+	a := linalg.FromRows(rows)
+	coef, err := linalg.LeastSquares(a, data.Y)
 	if err != nil {
 		return nil, fmt.Errorf("model: mars fit: %w", err)
 	}
-	bestKeep := append([]int{}, keep...)
-	bestCoef, bestSSE := coef, sse
-	bestGCV := GCV(sse, n, effParams(len(keep)))
-
-	cur := append([]int{}, keep...)
-	for len(cur) > 1 {
-		bestLocalGCV := math.Inf(1)
-		var bestLocal []int
-		var bestLocalCoef []float64
-		var bestLocalSSE float64
-		for drop := 1; drop < len(cur); drop++ { // never drop the intercept
-			trial := append([]int{}, cur[:drop]...)
-			trial = append(trial, cur[drop+1:]...)
-			c, s, err := fit(trial)
-			if err != nil {
-				continue
-			}
-			g := GCV(s, n, effParams(len(trial)))
-			if g < bestLocalGCV {
-				bestLocalGCV, bestLocal, bestLocalCoef, bestLocalSSE = g, trial, c, s
-			}
-		}
-		if bestLocal == nil {
-			break
-		}
-		cur = bestLocal
-		if bestLocalGCV < bestGCV {
-			bestGCV = bestLocalGCV
-			bestKeep = append([]int{}, cur...)
-			bestCoef, bestSSE = bestLocalCoef, bestLocalSSE
-		}
-	}
-
-	m := &MARSModel{GCVScore: bestGCV, TrainSSE: bestSSE}
+	finalSSE := linalg.SSE(a.MulVec(coef), data.Y)
+	m := &MARSModel{GCVScore: GCV(finalSSE, n, effParams(len(bestKeep))), TrainSSE: finalSSE}
 	for _, bi := range bestKeep {
 		m.Bases = append(m.Bases, bases[bi])
 	}
-	m.Coef = bestCoef
+	m.Coef = coef
 	return m, nil
 }
 

@@ -1,0 +1,59 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit worker count not honored")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Error("zero should mean GOMAXPROCS")
+	}
+	if Workers(-2) != runtime.GOMAXPROCS(0) {
+		t.Error("negative should mean GOMAXPROCS")
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1001} {
+			counts := make([]int32, n)
+			For(n, workers, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialPreservesOrder(t *testing.T) {
+	var order []int
+	For(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial For out of order: %v", order)
+		}
+	}
+}
+
+func TestDoRunsEveryFunc(t *testing.T) {
+	var ran [3]int32
+	Do(4,
+		func() { atomic.AddInt32(&ran[0], 1) },
+		func() { atomic.AddInt32(&ran[1], 1) },
+		func() { atomic.AddInt32(&ran[2], 1) },
+	)
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("func %d ran %d times", i, c)
+		}
+	}
+}

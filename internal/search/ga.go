@@ -8,6 +8,7 @@ package search
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/doe"
 	"repro/internal/model"
@@ -24,13 +25,22 @@ type Problem struct {
 }
 
 // GAOptions tunes the genetic algorithm.
+//
+// The zero value of every field means "use the default", so an explicit
+// zero rate cannot be expressed directly: pass a negative CrossRate or
+// MutRate to request a true zero (no crossover / no mutation).
 type GAOptions struct {
 	Population  int     // default 60
 	Generations int     // default 40
 	Tournament  int     // default 3
-	CrossRate   float64 // per-gene probability of taking parent B (default 0.5)
-	MutRate     float64 // per-gene mutation probability (default 0.08)
+	CrossRate   float64 // per-gene probability of taking parent B (default 0.5; negative = explicit 0)
+	MutRate     float64 // per-gene mutation probability (default 0.08; negative = explicit 0)
 	Elite       int     // individuals carried over unchanged (default 2)
+	// Workers bounds the fitness-evaluation concurrency (0 = GOMAXPROCS,
+	// 1 = serial). The search trajectory is identical for every value:
+	// all randomness is drawn on the breeding goroutine in a fixed order,
+	// and workers only evaluate the (immutable) model in batch.
+	Workers int
 }
 
 func (o GAOptions) withDefaults() GAOptions {
@@ -43,11 +53,17 @@ func (o GAOptions) withDefaults() GAOptions {
 	if o.Tournament == 0 {
 		o.Tournament = 3
 	}
-	if o.CrossRate == 0 {
+	switch {
+	case o.CrossRate == 0:
 		o.CrossRate = 0.5
+	case o.CrossRate < 0:
+		o.CrossRate = 0
 	}
-	if o.MutRate == 0 {
+	switch {
+	case o.MutRate == 0:
 		o.MutRate = 0.08
+	case o.MutRate < 0:
+		o.MutRate = 0
 	}
 	if o.Elite == 0 {
 		o.Elite = 2
@@ -78,18 +94,26 @@ func Optimize(p Problem, opt GAOptions, rng *rand.Rand) *Result {
 		clamp(pt)
 		return pt
 	}
+	// Fitness is evaluated in batch: the whole population is coded and
+	// predicted on the worker pool via PredictAllParallel. Predictions
+	// write only their own index, so the scores — and therefore the whole
+	// search — are identical at any worker count.
 	evals := 0
-	fitness := func(pt doe.Point) float64 {
-		evals++
-		return p.Model.Predict(p.Space.Code(pt))
+	evalInto := func(pop []doe.Point, fit []float64) {
+		coded := make([][]float64, len(pop))
+		for i, pt := range pop {
+			coded[i] = p.Space.Code(pt)
+		}
+		copy(fit, model.PredictAllParallel(p.Model, coded, opt.Workers))
+		evals += len(pop)
 	}
 
 	pop := make([]doe.Point, opt.Population)
 	fit := make([]float64, opt.Population)
 	for i := range pop {
 		pop[i] = newRandom()
-		fit[i] = fitness(pop[i])
 	}
+	evalInto(pop, fit)
 
 	bestI := argmin(fit)
 	best := append(doe.Point{}, pop[bestI]...)
@@ -131,8 +155,8 @@ func Optimize(p Problem, opt GAOptions, rng *rand.Rand) *Result {
 			next = append(next, child)
 		}
 		pop = next
+		evalInto(pop, fit)
 		for i := range pop {
-			fit[i] = fitness(pop[i])
 			if fit[i] < bestFit {
 				bestFit = fit[i]
 				best = append(doe.Point{}, pop[i]...)
@@ -163,15 +187,19 @@ func argmin(xs []float64) int {
 	return bi
 }
 
+// sortedByFitness returns the population indices ordered by ascending
+// fitness. Equal fitnesses keep their index order — the same result as the
+// stable insertion sort this replaced, at O(n log n).
 func sortedByFitness(fit []float64) []int {
 	idx := make([]int, len(fit))
 	for i := range idx {
 		idx[i] = i
 	}
-	for i := 1; i < len(idx); i++ {
-		for j := i; j > 0 && fit[idx[j-1]] > fit[idx[j]]; j-- {
-			idx[j-1], idx[j] = idx[j], idx[j-1]
+	sort.Slice(idx, func(a, b int) bool {
+		if fit[idx[a]] != fit[idx[b]] {
+			return fit[idx[a]] < fit[idx[b]]
 		}
-	}
+		return idx[a] < idx[b]
+	})
 	return idx
 }

@@ -1,0 +1,107 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Workers only parallelize the batched fitness evaluation; all randomness is
+// consumed on the breeding goroutine in a fixed order, so the search
+// trajectory — and the final point — must be identical at any worker count.
+func TestOptimizeParallelMatchesSerial(t *testing.T) {
+	s := smallSpace()
+	m := funcModel{func(x []float64) float64 {
+		return 100 - 5*x[0] + 7*x[1] - 3*x[2] + 4*x[3]*x[3]
+	}}
+	run := func(w int) *Result {
+		return Optimize(Problem{Space: s, Model: m},
+			GAOptions{Workers: w}, rand.New(rand.NewSource(11)))
+	}
+	serial := run(1)
+	for _, w := range []int{0, 2, 4} {
+		parallel := run(w)
+		for i := range serial.Point {
+			if parallel.Point[i] != serial.Point[i] {
+				t.Fatalf("workers=%d: point %v != serial %v", w, parallel.Point, serial.Point)
+			}
+		}
+		if parallel.Predicted != serial.Predicted {
+			t.Fatalf("workers=%d: predicted %v != serial %v", w, parallel.Predicted, serial.Predicted)
+		}
+		if parallel.Evals != serial.Evals {
+			t.Fatalf("workers=%d: evals %d != serial %d", w, parallel.Evals, serial.Evals)
+		}
+	}
+}
+
+// sortedByFitness must order ascending and keep index order on ties — the
+// contract the elitism step relied on with the old stable insertion sort.
+func TestSortedByFitnessStableOnTies(t *testing.T) {
+	fit := []float64{3, 1, 2, 1, 3, 1}
+	got := sortedByFitness(fit)
+	want := []int{1, 3, 5, 2, 0, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	// Cross-check against a reference insertion sort on random data.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		f := make([]float64, 30)
+		for i := range f {
+			f[i] = float64(rng.Intn(5)) // plenty of ties
+		}
+		ref := insertionSortedByFitness(f)
+		got := sortedByFitness(f)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: %v != reference %v (fit %v)", trial, got, ref, f)
+			}
+		}
+	}
+}
+
+// insertionSortedByFitness is the O(n²) stable sort sortedByFitness replaced,
+// kept as the test oracle.
+func insertionSortedByFitness(fit []float64) []int {
+	idx := make([]int, len(fit))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && fit[idx[j]] < fit[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// The zero value of every GAOptions field means "default"; negative rates
+// are the explicit-zero sentinel.
+func TestGAOptionsExplicitZeroRates(t *testing.T) {
+	def := GAOptions{}.withDefaults()
+	if def.CrossRate != 0.5 || def.MutRate != 0.08 {
+		t.Fatalf("defaults = %+v", def)
+	}
+	zero := GAOptions{CrossRate: -1, MutRate: -1}.withDefaults()
+	if zero.CrossRate != 0 || zero.MutRate != 0 {
+		t.Fatalf("explicit zero = %+v", zero)
+	}
+	set := GAOptions{CrossRate: 0.3, MutRate: 0.2}.withDefaults()
+	if set.CrossRate != 0.3 || set.MutRate != 0.2 {
+		t.Fatalf("explicit values overwritten: %+v", set)
+	}
+
+	// Behavioral check: with crossover and mutation both explicitly off,
+	// children are copies of tournament winners, so every individual ever
+	// seen is from the initial population.
+	s := smallSpace()
+	m := funcModel{func(x []float64) float64 { return x[2] + x[3] }}
+	res := Optimize(Problem{Space: s, Model: m},
+		GAOptions{Population: 8, Generations: 5, CrossRate: -1, MutRate: -1},
+		rand.New(rand.NewSource(5)))
+	if res == nil || res.Evals != 8*6 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
