@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/doe"
 	"repro/internal/exp"
@@ -91,11 +94,15 @@ func main() {
 	report := exp.NewReport(study)
 
 	show := func(name string) bool { return *expName == "all" || *expName == name }
+	// Ctrl-C cancels the GA between generations (instead of hanging until
+	// every remaining generation finishes); a second signal kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var searchResults []exp.SearchResult
 	ensureSearch := func() {
 		if searchResults == nil {
 			var err error
-			searchResults, err = study.SearchSettings(nil)
+			searchResults, err = study.SearchSettingsCtx(ctx, nil)
 			if err != nil {
 				fatal(err)
 			}

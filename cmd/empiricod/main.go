@@ -1,0 +1,107 @@
+// empiricod serves the measurement and modeling pipeline over HTTP: model
+// predictions, ground-truth simulation, model-based flag search and
+// significant-term ranking, with Prometheus-style metrics.
+//
+// Usage:
+//
+//	empiricod -addr :8080 -scale quick -cache .empirico-cache
+//
+// Endpoints:
+//
+//	POST /v1/predict   batch model predictions at raw design points
+//	POST /v1/measure   ground truth (compile + simulate), coalesced
+//	POST /v1/search    GA flag search, streamed generation-by-generation
+//	GET  /v1/rank      significant-term ranking of the fitted model
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text exposition
+//
+// The daemon drains in-flight requests on SIGINT/SIGTERM, then checkpoints
+// the measurement store before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		scale    = flag.String("scale", "default", "default harness scale: quick|default|paper")
+		cacheDir = flag.String("cache", "", "directory for the durable measurement cache")
+		workers  = flag.Int("workers", 0, "farm + analytics workers (0 = GOMAXPROCS)")
+		models   = flag.Int("max-models", 0, "resident (workload, scale) model sets (0 = 8)")
+		window   = flag.Duration("window", 0, "measure coalescing window (0 = 10ms)")
+		rate     = flag.Float64("rate", 0, "per-endpoint requests/second (0 = 50)")
+		burst    = flag.Float64("burst", 0, "per-endpoint burst (0 = 100)")
+		inflight = flag.Int("max-inflight", 0, "concurrent requests before shedding (0 = 256)")
+		train    = flag.Int("train", 0, "override training-design size (0 = scale default; smoke tests)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := serve.Options{
+		Scale:          *scale,
+		CacheDir:       *cacheDir,
+		Workers:        *workers,
+		TrainPoints:    *train,
+		MaxModels:      *models,
+		CoalesceWindow: *window,
+		RatePerSec:     *rate,
+		RateBurst:      *burst,
+		MaxInFlight:    *inflight,
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	srv := serve.New(opts)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "empiricod: listening on %s (scale %s)\n", *addr, *scale)
+		}
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Stop accepting, drain handlers, then checkpoint the farm stores.
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "empiricod: shutting down")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "empiricod: drain:", err)
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "empiricod:", err)
+	os.Exit(1)
+}

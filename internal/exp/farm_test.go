@@ -1,12 +1,16 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/compiler"
 	"repro/internal/doe"
+	"repro/internal/farm"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -146,5 +150,57 @@ func TestJournalSurvivesWithoutSaveCache(t *testing.T) {
 	}
 	if st := h2.FarmStats(); st.SimsExecuted != 0 {
 		t.Fatalf("journal replay missed: %d simulations re-ran", st.SimsExecuted)
+	}
+}
+
+// TestPrefetchFailureDoesNotPoisonKey asserts the error path of Prefetch: a
+// job that fails during the prefetch pass must not leave its dedup key in a
+// state where a later Measure for the same point gets the stale error (or,
+// worse, hangs). Failures are not persisted to the store and the in-flight
+// entry is removed on completion, so the retry must re-execute and succeed.
+func TestPrefetchFailureDoesNotPoisonKey(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	var executions atomic.Int64
+	h := NewHarness(tinyScale)
+	h.Measure = func(ctx context.Context, job farm.Job) (farm.Result, error) {
+		executions.Add(1)
+		if fail.Load() {
+			return farm.Result{}, &farm.CompileError{Workload: job.Workload.Key(), Err: errors.New("injected")}
+		}
+		return farm.Result{Cycles: 42, Energy: 7, Instructions: 1}, nil
+	}
+	defer h.Close()
+
+	w := workloads.MustGet("179.art", workloads.Train)
+	p := doe.JoinPoint(doe.FromOptions(compiler.O2()), doe.FromConfig(sim.DefaultConfig()))
+	jobs := []farm.Job{{Workload: w, Point: p}}
+
+	h.Prefetch(jobs) // errors deliberately dropped
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("prefetch ran %d executions, want 1", n)
+	}
+	if st := h.FarmStats(); st.Failures != 1 {
+		t.Fatalf("prefetch failure not counted: %+v", st)
+	}
+
+	fail.Store(false)
+	v, err := h.MeasureCycles(w, p)
+	if err != nil {
+		t.Fatalf("measure after failed prefetch: %v", err)
+	}
+	if v != 42 {
+		t.Fatalf("measure got %v, want 42", v)
+	}
+	if n := executions.Load(); n != 2 {
+		t.Fatalf("retry after failure ran %d total executions, want 2", n)
+	}
+
+	// And the success is now cached: no third execution.
+	if _, err := h.MeasureCycles(w, p); err != nil {
+		t.Fatal(err)
+	}
+	if n := executions.Load(); n != 2 {
+		t.Fatalf("cached remeasure re-executed: %d executions", n)
 	}
 }

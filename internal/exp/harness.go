@@ -87,6 +87,12 @@ type Harness struct {
 	// identical for any value.
 	Workers int
 
+	// Measure, when non-nil, replaces the farm's compile+simulate executor
+	// — the injection point for stub pipelines in tests and instrumented
+	// ones in services. Like the other configuration fields it must be set
+	// before the first measurement.
+	Measure farm.MeasureFunc
+
 	mu    sync.Mutex
 	farm  *farm.Farm
 	space *doe.Space
@@ -139,6 +145,7 @@ func (h *Harness) Farm() *farm.Farm {
 	h.farm = farm.New(farm.Options{
 		Workers:   h.Workers,
 		Store:     store,
+		Measure:   h.Measure,
 		MaxInstrs: h.MaxInstrs,
 		Log:       h.Log,
 	})
@@ -258,6 +265,24 @@ func (h *Harness) Prefetch(jobs []farm.Job) {
 		}(j)
 	}
 	wg.Wait()
+}
+
+// FitModels measures the training design for w (warm-started from the
+// durable store when CacheDir is set — points already measured by a previous
+// run or process cost nothing) and fits all model kinds on it. It returns
+// the fitted models keyed by kind ("linear", "mars", "rbf", "mars-raw")
+// plus the coded training matrix, which effect ranking uses as background
+// points. This is the model registry's training hook (internal/serve).
+func (h *Harness) FitModels(w workloads.Workload) (map[string]model.Model, [][]float64, error) {
+	ds, err := h.BuildDataset(w, h.TrainDesign())
+	if err != nil {
+		return nil, nil, err
+	}
+	models, err := FitAllParallel(ds, h.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return models, ds.X, nil
 }
 
 // ProgramData bundles the train/test measurements for one program.

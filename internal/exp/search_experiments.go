@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -76,6 +77,13 @@ type SearchResult struct {
 // every program in the study on each named configuration, using the RBF
 // models as the search surrogate (as the paper does for Table 6).
 func (s *Study) SearchSettings(configs []NamedConfig) ([]SearchResult, error) {
+	return s.SearchSettingsCtx(context.Background(), configs)
+}
+
+// SearchSettingsCtx is SearchSettings with cancellation: the GA checks ctx
+// between generations, so Ctrl-C (or a disconnected service client) stops
+// the search promptly instead of finishing every remaining generation.
+func (s *Study) SearchSettingsCtx(ctx context.Context, configs []NamedConfig) ([]SearchResult, error) {
 	if configs == nil {
 		configs = NamedConfigs()
 	}
@@ -84,13 +92,16 @@ func (s *Study) SearchSettings(configs []NamedConfig) ([]SearchResult, error) {
 		m := s.Models[pd.Workload.Key()]["rbf"]
 		for _, nc := range configs {
 			rng := s.Harness.rngFor("ga-" + pd.Workload.Key() + "-" + nc.Name)
-			res := search.FindCompilerSettings(
-				s.Harness.Space(), m, doe.FromConfig(nc.Config),
+			res, err := search.FindCompilerSettingsCtx(
+				ctx, s.Harness.Space(), m, doe.FromConfig(nc.Config),
 				search.GAOptions{
 					Population:  s.Harness.Scale.GAPopulation,
 					Generations: s.Harness.Scale.GAGenerations,
 					Workers:     s.Harness.Workers,
 				}, rng)
+			if err != nil {
+				return nil, err
+			}
 			out = append(out, SearchResult{
 				Program:   pd.Workload.Key(),
 				Config:    nc.Name,

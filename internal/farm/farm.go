@@ -25,7 +25,6 @@ import (
 	"io"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/doe"
@@ -71,16 +70,22 @@ type Farm struct {
 	wg       sync.WaitGroup
 
 	start time.Time
-	hits,
-	misses,
-	coalesced,
-	sims,
-	instrs,
-	retried,
-	budgetOverruns,
-	failures atomic.Int64
-	busyNanos  []atomic.Int64 // per worker
-	workerJobs []atomic.Int64
+	// statMu guards every instrumentation counter. A single mutex (rather
+	// than per-counter atomics) lets Stats take one consistent snapshot:
+	// counters that move together (sims and instrs, misses and queue
+	// growth) can never be observed torn mid-update.
+	statMu sync.Mutex
+	st     counters
+}
+
+// counters is the farm's instrumentation state; all fields are guarded by
+// Farm.statMu and updated in one critical section per logical event.
+type counters struct {
+	hits, misses, coalesced        int64
+	sims, instrs                   int64
+	retried, budgetOverruns, fails int64
+	workerBusyNanos                []int64
+	workerJobs                     []int64
 }
 
 // task is one in-flight execution; all callers for the same key share it.
@@ -127,13 +132,20 @@ func New(opts Options) *Farm {
 		f.store = MemStore()
 	}
 	f.cond = sync.NewCond(&f.mu)
-	f.busyNanos = make([]atomic.Int64, f.workers)
-	f.workerJobs = make([]atomic.Int64, f.workers)
+	f.st.workerBusyNanos = make([]int64, f.workers)
+	f.st.workerJobs = make([]int64, f.workers)
 	f.wg.Add(f.workers)
 	for i := 0; i < f.workers; i++ {
 		go f.worker(i)
 	}
 	return f
+}
+
+// bump applies one counter update atomically with respect to Stats.
+func (f *Farm) bump(update func(*counters)) {
+	f.statMu.Lock()
+	update(&f.st)
+	f.statMu.Unlock()
 }
 
 func (f *Farm) logf(format string, args ...interface{}) {
@@ -162,7 +174,7 @@ func (f *Farm) Measure(ctx context.Context, w workloads.Workload, p doe.Point, r
 func (f *Farm) Do(ctx context.Context, job Job) (Result, error) {
 	key := Key(job.Workload, job.Point)
 	if c, e, ok := f.store.Get2(key, EnergyKey(key)); ok {
-		f.hits.Add(1)
+		f.bump(func(s *counters) { s.hits++ })
 		return Result{Cycles: c, Energy: e}, nil
 	}
 	f.mu.Lock()
@@ -172,12 +184,12 @@ func (f *Farm) Do(ctx context.Context, job Job) (Result, error) {
 	}
 	t, shared := f.inflight[key]
 	if shared {
-		f.coalesced.Add(1)
+		f.bump(func(s *counters) { s.coalesced++ })
 	} else {
 		t = &task{job: job, key: key, ctx: ctx, done: make(chan struct{})}
 		f.inflight[key] = t
 		f.queue = append(f.queue, t)
-		f.misses.Add(1)
+		f.bump(func(s *counters) { s.misses++ })
 		f.cond.Signal()
 	}
 	f.mu.Unlock()
@@ -230,8 +242,11 @@ func (f *Farm) worker(id int) {
 		f.mu.Unlock()
 		start := time.Now()
 		f.run(t)
-		f.busyNanos[id].Add(time.Since(start).Nanoseconds())
-		f.workerJobs[id].Add(1)
+		busy := time.Since(start).Nanoseconds()
+		f.bump(func(s *counters) {
+			s.workerBusyNanos[id] += busy
+			s.workerJobs[id]++
+		})
 	}
 }
 
@@ -239,18 +254,27 @@ func (f *Farm) worker(id int) {
 func (f *Farm) run(t *task) {
 	res, err := f.attempt(t)
 	if err == nil {
-		f.sims.Add(1)
-		f.instrs.Add(res.Instructions)
+		// One critical section for the pair: a Stats snapshot always sees
+		// sims and instrs move together.
+		f.bump(func(s *counters) {
+			s.sims++
+			s.instrs += res.Instructions
+		})
 		if perr := f.persist(t.key, res); perr != nil {
 			// The measurement itself is valid; a store that stays broken
 			// past its retries costs durability, not correctness.
 			f.logf("farm: store append for %s failed: %v", t.key, perr)
 		}
 	} else {
-		f.failures.Add(1)
+		budget := Classify(err) == ClassBudget
+		f.bump(func(s *counters) {
+			s.fails++
+			if budget {
+				s.budgetOverruns++
+			}
+		})
 		switch Classify(err) {
 		case ClassBudget:
-			f.budgetOverruns.Add(1)
 			f.logf("farm: %s: %v", t.job.Workload.Key(), err)
 		case ClassPermanent:
 			f.logf("farm: %s: permanent failure: %v", t.job.Workload.Key(), err)
@@ -276,7 +300,7 @@ func (f *Farm) attempt(t *task) (Result, error) {
 		if err == nil || Classify(err) != ClassTransient || try >= f.retries {
 			return res, err
 		}
-		f.retried.Add(1)
+		f.bump(func(s *counters) { s.retried++ })
 		f.logf("farm: %s: transient failure (attempt %d/%d): %v",
 			t.job.Workload.Key(), try+1, f.retries, err)
 		select {
@@ -295,7 +319,7 @@ func (f *Farm) persist(key string, res Result) error {
 		if err == nil || Classify(err) != ClassTransient {
 			return err
 		}
-		f.retried.Add(1)
+		f.bump(func(s *counters) { s.retried++ })
 		time.Sleep(f.delay * time.Duration(try+1))
 	}
 	return err
@@ -362,26 +386,31 @@ func (s Stats) String() string {
 		100*s.Utilization(), s.WallTime.Round(time.Millisecond))
 }
 
-// Stats snapshots the farm's counters.
+// Stats snapshots the farm's counters. The whole snapshot is taken under a
+// single acquisition of the stats lock, so counters that are updated
+// together are seen together: InstrsSimulated always corresponds to exactly
+// SimsExecuted completed simulations, never a torn in-between state.
 func (f *Farm) Stats() Stats {
+	f.statMu.Lock()
 	st := Stats{
 		Workers:         f.workers,
-		CacheHits:       f.hits.Load(),
-		CacheMisses:     f.misses.Load(),
-		Coalesced:       f.coalesced.Load(),
-		SimsExecuted:    f.sims.Load(),
-		InstrsSimulated: f.instrs.Load(),
-		Retries:         f.retried.Load(),
-		BudgetOverruns:  f.budgetOverruns.Load(),
-		Failures:        f.failures.Load(),
-		WallTime:        time.Since(f.start),
+		CacheHits:       f.st.hits,
+		CacheMisses:     f.st.misses,
+		Coalesced:       f.st.coalesced,
+		SimsExecuted:    f.st.sims,
+		InstrsSimulated: f.st.instrs,
+		Retries:         f.st.retried,
+		BudgetOverruns:  f.st.budgetOverruns,
+		Failures:        f.st.fails,
 	}
 	st.PerWorker = make([]WorkerStats, f.workers)
 	for i := range st.PerWorker {
 		st.PerWorker[i] = WorkerStats{
-			Jobs: f.workerJobs[i].Load(),
-			Busy: time.Duration(f.busyNanos[i].Load()),
+			Jobs: f.st.workerJobs[i],
+			Busy: time.Duration(f.st.workerBusyNanos[i]),
 		}
 	}
+	f.statMu.Unlock()
+	st.WallTime = time.Since(f.start)
 	return st
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io/fs"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -318,5 +319,84 @@ func TestFarmClosedRejectsWork(t *testing.T) {
 	}
 	if _, err := f.Do(context.Background(), testJob(7)); err == nil {
 		t.Fatal("expected error from closed farm")
+	}
+}
+
+// TestStatsConsistentUnderLoad pins the snapshot guarantee of Stats: every
+// counter is read under one lock acquisition, so counters that the farm
+// updates together can never be observed torn. The stub executor reports a
+// fixed instruction count per simulation, making the invariant exact:
+// InstrsSimulated must equal perSim * SimsExecuted in *every* snapshot, no
+// matter when it is taken relative to in-flight updates. Run with -race this
+// also exercises the stats lock against the measurement path.
+func TestStatsConsistentUnderLoad(t *testing.T) {
+	const perSim = 1000
+	f := New(Options{
+		Workers: 8,
+		Measure: func(ctx context.Context, job Job) (Result, error) {
+			return Result{Cycles: pointValue(job.Point), Energy: 1, Instructions: perSim}, nil
+		},
+	})
+	defer f.Close()
+
+	stop := make(chan struct{})
+	torn := make(chan string, 1)
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := f.Stats()
+				if st.InstrsSimulated != perSim*st.SimsExecuted {
+					select {
+					case torn <- fmt.Sprintf("torn snapshot: %d instrs for %d sims",
+						st.InstrsSimulated, st.SimsExecuted):
+					default:
+					}
+					return
+				}
+				if st.SimsExecuted+st.Failures > st.CacheMisses {
+					select {
+					case torn <- fmt.Sprintf("more completions (%d) than misses (%d)",
+						st.SimsExecuted+st.Failures, st.CacheMisses):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	w := workloads.MustGet("179.art", workloads.Train)
+	space := doe.JointSpace()
+	for round := 0; round < 4; round++ {
+		points := make([]doe.Point, 64)
+		for i := range points {
+			points[i] = space.RandomPoint(rng)
+		}
+		if _, err := f.MeasureBatch(context.Background(), w, points, Cycles); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+	select {
+	case msg := <-torn:
+		t.Fatal(msg)
+	default:
+	}
+	st := f.Stats()
+	if st.SimsExecuted == 0 {
+		t.Fatal("no simulations ran")
+	}
+	if st.InstrsSimulated != perSim*st.SimsExecuted {
+		t.Fatalf("final stats inconsistent: %d instrs for %d sims", st.InstrsSimulated, st.SimsExecuted)
 	}
 }

@@ -223,6 +223,13 @@ func (s *Store) Checkpoint() error {
 		os.Remove(tmp)
 		return err
 	}
+	// The temp file's contents are synced above, but the rename itself is
+	// only durable once the directory entry reaches disk; without this a
+	// crash right after Rename can resurrect the old checkpoint — after the
+	// journal below has already been truncated, losing the delta.
+	if err := syncDir(filepath.Dir(s.path)); err != nil {
+		return err
+	}
 	if s.journal != nil {
 		if err := s.journal.Truncate(0); err != nil {
 			return err
@@ -233,6 +240,19 @@ func (s *Store) Checkpoint() error {
 	}
 	s.pending = 0
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Close checkpoints (when durable) and releases the journal handle.

@@ -6,6 +6,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -41,6 +42,12 @@ type GAOptions struct {
 	// all randomness is drawn on the breeding goroutine in a fixed order,
 	// and workers only evaluate the (immutable) model in batch.
 	Workers int
+	// Progress, when non-nil, is called after each generation's fitness
+	// evaluation (gen 0 is the initial population) with the best point and
+	// predicted response found so far. It runs on the search goroutine, so
+	// callbacks are ordered and may stream results; the point is a copy the
+	// callee may retain.
+	Progress func(gen int, best doe.Point, predicted float64)
 }
 
 func (o GAOptions) withDefaults() GAOptions {
@@ -79,8 +86,19 @@ type Result struct {
 }
 
 // Optimize runs the GA and returns the best design point found (raw
-// values), minimizing the model's predicted response.
+// values), minimizing the model's predicted response. It is OptimizeCtx
+// without cancellation.
 func Optimize(p Problem, opt GAOptions, rng *rand.Rand) *Result {
+	res, _ := OptimizeCtx(context.Background(), p, opt, rng)
+	return res
+}
+
+// OptimizeCtx runs the GA, checking ctx between generations: a cancelled
+// context (a disconnected search client, Ctrl-C) stops the search at the
+// next generation boundary and returns the best point found so far together
+// with ctx's error. The trajectory up to the cancellation point is identical
+// to an uncancelled run with the same seed.
+func OptimizeCtx(ctx context.Context, p Problem, opt GAOptions, rng *rand.Rand) (*Result, error) {
 	opt = opt.withDefaults()
 	k := p.Space.NumVars()
 
@@ -118,6 +136,12 @@ func Optimize(p Problem, opt GAOptions, rng *rand.Rand) *Result {
 	bestI := argmin(fit)
 	best := append(doe.Point{}, pop[bestI]...)
 	bestFit := fit[bestI]
+	report := func(gen int) {
+		if opt.Progress != nil {
+			opt.Progress(gen, append(doe.Point{}, best...), bestFit)
+		}
+	}
+	report(0)
 
 	tournament := func() doe.Point {
 		wi := rng.Intn(len(pop))
@@ -131,6 +155,9 @@ func Optimize(p Problem, opt GAOptions, rng *rand.Rand) *Result {
 	}
 
 	for gen := 0; gen < opt.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return &Result{Point: best, Predicted: bestFit, Evals: evals}, err
+		}
 		next := make([]doe.Point, 0, opt.Population)
 		// Elitism: carry the best individuals forward.
 		order := sortedByFitness(fit)
@@ -162,19 +189,27 @@ func Optimize(p Problem, opt GAOptions, rng *rand.Rand) *Result {
 				best = append(doe.Point{}, pop[i]...)
 			}
 		}
+		report(gen + 1)
 	}
-	return &Result{Point: best, Predicted: bestFit, Evals: evals}
+	return &Result{Point: best, Predicted: bestFit, Evals: evals}, nil
 }
 
 // FindCompilerSettings freezes the microarchitectural block of the joint
 // space to cfgBlock (11 raw values) and searches the compiler block — the
 // platform-specific optimization search of the paper's Section 6.3.
 func FindCompilerSettings(space *doe.Space, m model.Model, march []int64, opt GAOptions, rng *rand.Rand) *Result {
+	res, _ := FindCompilerSettingsCtx(context.Background(), space, m, march, opt, rng)
+	return res
+}
+
+// FindCompilerSettingsCtx is FindCompilerSettings with generation-boundary
+// cancellation (see OptimizeCtx).
+func FindCompilerSettingsCtx(ctx context.Context, space *doe.Space, m model.Model, march []int64, opt GAOptions, rng *rand.Rand) (*Result, error) {
 	frozen := map[int]int64{}
 	for i, v := range march {
 		frozen[doe.NumCompilerVars+i] = v
 	}
-	return Optimize(Problem{Space: space, Model: m, Frozen: frozen}, opt, rng)
+	return OptimizeCtx(ctx, Problem{Space: space, Model: m, Frozen: frozen}, opt, rng)
 }
 
 func argmin(xs []float64) int {

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -96,5 +97,68 @@ func TestFindCompilerSettingsFreezesMicroarch(t *testing.T) {
 	// Numeric heuristics driven to their high values.
 	if res.Point[9] != 150 || res.Point[13] != 300 {
 		t.Fatalf("heuristics not maximized: %v", res.Point[:14])
+	}
+}
+
+func TestGAProgressStreamsEveryGeneration(t *testing.T) {
+	s := smallSpace()
+	m := funcModel{func(x []float64) float64 { return x[2] + x[3] }}
+	var gens []int
+	var lastBest float64
+	opt := GAOptions{
+		Generations: 5,
+		Progress: func(gen int, best doe.Point, predicted float64) {
+			gens = append(gens, gen)
+			if len(best) != s.NumVars() {
+				t.Fatalf("progress best has %d vars, want %d", len(best), s.NumVars())
+			}
+			if len(gens) > 1 && predicted > lastBest {
+				t.Fatalf("best-so-far worsened: %v -> %v", lastBest, predicted)
+			}
+			lastBest = predicted
+		},
+	}
+	res, err := OptimizeCtx(context.Background(), Problem{Space: s, Model: m}, opt, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 6 { // initial population + 5 generations
+		t.Fatalf("progress called %d times, want 6 (gens %v)", len(gens), gens)
+	}
+	for i, g := range gens {
+		if g != i {
+			t.Fatalf("generations out of order: %v", gens)
+		}
+	}
+	if lastBest != res.Predicted {
+		t.Fatalf("final progress %v disagrees with result %v", lastBest, res.Predicted)
+	}
+}
+
+func TestGACancelledContextStopsBetweenGenerations(t *testing.T) {
+	s := smallSpace()
+	m := funcModel{func(x []float64) float64 { return x[0] }}
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := 3
+	opt := GAOptions{
+		Population:  8,
+		Generations: 1000,
+		Progress: func(gen int, best doe.Point, predicted float64) {
+			if gen == stopAt {
+				cancel()
+			}
+		},
+	}
+	res, err := OptimizeCtx(ctx, Problem{Space: s, Model: m}, opt, rand.New(rand.NewSource(5)))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Point) != s.NumVars() {
+		t.Fatalf("cancellation must still return the best point so far, got %+v", res)
+	}
+	// Evals: initial population + stopAt generations, then the cancel check
+	// fires before generation stopAt+1 breeds.
+	if want := 8 * (stopAt + 1); res.Evals != want {
+		t.Fatalf("search ran %d evals after cancel, want %d", res.Evals, want)
 	}
 }

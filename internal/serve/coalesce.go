@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/doe"
+	"repro/internal/farm"
+	"repro/internal/workloads"
+)
+
+// BatchFunc executes one measurement batch — in production,
+// farm.Farm.MeasureBatch. It must return one value per point, in order.
+type BatchFunc func(ctx context.Context, w workloads.Workload, pts []doe.Point, resp farm.Response) ([]float64, error)
+
+// Coalescer batches concurrent measure requests: callers arriving within
+// one window (default 10ms) for the same (workload, response) pair are
+// folded into a single farm batch, with duplicate points submitted once.
+// The farm already deduplicates in-flight points, but only within its own
+// queue — coalescing upstream means many small HTTP callers cost one batch
+// dispatch (and one Stats/log line) instead of hundreds, and the farm's
+// worker pool sees the full batch at once instead of a trickle.
+//
+// Cancellation propagates per request: a caller whose context expires stops
+// waiting immediately, and when every caller interested in a batch has gone
+// the batch's own context is cancelled so the farm can stop early.
+type Coalescer struct {
+	run    BatchFunc
+	window time.Duration
+
+	mu      sync.Mutex
+	pending map[string]*measureBatch
+	batches int64
+}
+
+// measureBatch accumulates points for one (workload, response) pair until
+// its window closes.
+type measureBatch struct {
+	w      workloads.Workload
+	resp   farm.Response
+	points []doe.Point
+	index  map[string]int // point identity -> index in points
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters int
+	done    chan struct{}
+	vals    []float64
+	err     error
+}
+
+// NewCoalescer returns a coalescer over run with the given batching window
+// (0 means 10ms).
+func NewCoalescer(run BatchFunc, window time.Duration) *Coalescer {
+	if window <= 0 {
+		window = 10 * time.Millisecond
+	}
+	return &Coalescer{run: run, window: window, pending: map[string]*measureBatch{}}
+}
+
+func pointKey(p doe.Point) string {
+	b := make([]byte, 0, len(p)*4)
+	for _, v := range p {
+		b = strconv.AppendInt(b, v, 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// Measure submits points for workload w and blocks until the batch carrying
+// them completes (or ctx expires). Values return in the order of pts.
+func (c *Coalescer) Measure(ctx context.Context, w workloads.Workload, pts []doe.Point, resp farm.Response) ([]float64, error) {
+	key := w.Key() + "|" + strconv.Itoa(int(resp))
+	c.mu.Lock()
+	b, ok := c.pending[key]
+	if !ok {
+		bctx, cancel := context.WithCancel(context.Background())
+		b = &measureBatch{
+			w: w, resp: resp,
+			index: map[string]int{},
+			ctx:   bctx, cancel: cancel,
+			done: make(chan struct{}),
+		}
+		c.pending[key] = b
+		go c.fire(key, b)
+	}
+	// Record which batch slot each of this caller's points landed in
+	// (duplicates within and across callers share a slot).
+	slots := make([]int, len(pts))
+	for i, p := range pts {
+		pk := pointKey(p)
+		j, dup := b.index[pk]
+		if !dup {
+			j = len(b.points)
+			b.index[pk] = j
+			b.points = append(b.points, p)
+		}
+		slots[i] = j
+	}
+	b.waiters++
+	c.mu.Unlock()
+
+	select {
+	case <-b.done:
+		if b.err != nil {
+			return nil, b.err
+		}
+		out := make([]float64, len(slots))
+		for i, j := range slots {
+			out[i] = b.vals[j]
+		}
+		return out, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		b.waiters--
+		if b.waiters == 0 {
+			// Nobody left wants this batch: let the farm stop early, and
+			// unregister it so a caller arriving after the cancellation
+			// opens a fresh batch instead of joining a doomed one.
+			if c.pending[key] == b {
+				delete(c.pending, key)
+			}
+			b.cancel()
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// fire waits out the batching window, unregisters the batch (so late
+// arrivals open a fresh one) and runs it.
+func (c *Coalescer) fire(key string, b *measureBatch) {
+	timer := time.NewTimer(c.window)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-b.ctx.Done():
+		// Every waiter gave up before the window closed.
+	}
+	c.mu.Lock()
+	if c.pending[key] == b {
+		delete(c.pending, key)
+	}
+	c.batches++
+	run := b.ctx.Err() == nil
+	c.mu.Unlock()
+	if run {
+		b.vals, b.err = c.run(b.ctx, b.w, b.points, b.resp)
+	} else {
+		b.err = b.ctx.Err()
+	}
+	close(b.done)
+	b.cancel()
+}
+
+// Batches reports how many farm batches have been dispatched (including
+// batches cancelled before dispatch).
+func (c *Coalescer) Batches() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batches
+}

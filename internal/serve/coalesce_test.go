@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/doe"
+	"repro/internal/farm"
+	"repro/internal/workloads"
+)
+
+// coalesceValue mirrors the farm-test convention: a deterministic fake
+// measurement derived from the point, so distribution can be verified.
+func coalesceValue(p doe.Point) float64 {
+	v := 1.0
+	for _, x := range p {
+		v = v*31 + float64(x)
+	}
+	return v
+}
+
+func countingBatch(calls *atomic.Int64, points *atomic.Int64) BatchFunc {
+	return func(ctx context.Context, w workloads.Workload, pts []doe.Point, resp farm.Response) ([]float64, error) {
+		calls.Add(1)
+		points.Add(int64(len(pts)))
+		out := make([]float64, len(pts))
+		for i, p := range pts {
+			out[i] = coalesceValue(p)
+		}
+		return out, nil
+	}
+}
+
+// TestCoalesceManyClientsOneBatch is the satellite coverage: N concurrent
+// clients with overlapping points inside one window produce exactly one
+// farm batch, with duplicate points submitted once and every client seeing
+// its own values in its own order.
+func TestCoalesceManyClientsOneBatch(t *testing.T) {
+	var calls, totalPts atomic.Int64
+	c := NewCoalescer(countingBatch(&calls, &totalPts), 150*time.Millisecond)
+	w := workloads.MustGet("179.art", workloads.Train)
+	space := doe.JointSpace()
+	rng := rand.New(rand.NewSource(1))
+	// 8 distinct points; each client asks for an overlapping pair.
+	shared := make([]doe.Point, 8)
+	for i := range shared {
+		shared[i] = space.RandomPoint(rng)
+	}
+
+	const clients = 30
+	var wg sync.WaitGroup
+	fail := make(chan string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pts := []doe.Point{shared[i%len(shared)], shared[(i+1)%len(shared)]}
+			vals, err := c.Measure(context.Background(), w, pts, farm.Cycles)
+			if err != nil {
+				fail <- err.Error()
+				return
+			}
+			for j, p := range pts {
+				if vals[j] != coalesceValue(p) {
+					fail <- "client got wrong value for its point"
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("%d concurrent clients caused %d farm batches, want 1", clients, n)
+	}
+	if n := c.Batches(); n != 1 {
+		t.Fatalf("coalescer counted %d batches, want 1", n)
+	}
+	if n := totalPts.Load(); n != int64(len(shared)) {
+		t.Fatalf("batch carried %d points, want %d deduped", n, len(shared))
+	}
+}
+
+// TestCoalesceWindowBoundsBatches pins the acceptance bound: requests spread
+// over a duration D produce at most floor(D/window)+1 batches (a new batch
+// can only open once per window). The bound is computed from the measured
+// arrival span, so scheduler noise cannot produce a flaky failure.
+func TestCoalesceWindowBoundsBatches(t *testing.T) {
+	const window = 40 * time.Millisecond
+	var calls, totalPts atomic.Int64
+	c := NewCoalescer(countingBatch(&calls, &totalPts), window)
+	w := workloads.MustGet("164.gzip", workloads.Train)
+	space := doe.JointSpace()
+	rng := rand.New(rand.NewSource(2))
+
+	const clients = 12
+	pts := make([]doe.Point, clients)
+	for i := range pts {
+		pts[i] = space.RandomPoint(rng)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	var lastArrival atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 10 * time.Millisecond)
+			now := time.Since(start).Nanoseconds()
+			for {
+				prev := lastArrival.Load()
+				if now <= prev || lastArrival.CompareAndSwap(prev, now) {
+					break
+				}
+			}
+			if _, err := c.Measure(context.Background(), w, []doe.Point{pts[i]}, farm.Cycles); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	span := time.Duration(lastArrival.Load())
+	allowed := int64(span/window) + 1
+	if n := c.Batches(); n > allowed {
+		t.Fatalf("%d batches over a %v arrival span with %v window, allowed %d",
+			n, span, window, allowed)
+	}
+	if n := c.Batches(); n < 1 {
+		t.Fatal("no batches dispatched")
+	}
+}
+
+// TestCoalesceCancelPropagates: when every waiter of a batch gives up, the
+// batch context is cancelled so the farm can stop, and each waiter gets its
+// own context error.
+func TestCoalesceCancelPropagates(t *testing.T) {
+	batchCancelled := make(chan struct{})
+	slow := func(ctx context.Context, w workloads.Workload, pts []doe.Point, resp farm.Response) ([]float64, error) {
+		<-ctx.Done()
+		close(batchCancelled)
+		return nil, ctx.Err()
+	}
+	c := NewCoalescer(slow, time.Millisecond)
+	w := workloads.MustGet("175.vpr", workloads.Train)
+	pt := doe.JointSpace().RandomPoint(rand.New(rand.NewSource(3)))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Measure(ctx, w, []doe.Point{pt}, farm.Cycles)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the batch fire and block in slow()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("waiter got %v, want context.Canceled", err)
+	}
+	select {
+	case <-batchCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch context never cancelled after all waiters left")
+	}
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the fixed histogram bounds (seconds) for request
+// latency. Predictions answer in microseconds once a model is cached;
+// training and measurement runs reach into seconds — the spread covers both.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// Metrics accumulates per-endpoint request counters and latency histograms
+// and renders them in the Prometheus text exposition format. It is
+// hand-rolled on purpose: the repo takes no dependencies, and the format is
+// a few lines of text.
+type Metrics struct {
+	mu          sync.Mutex
+	requests    map[string]map[int]int64 // endpoint -> status code -> count
+	hist        map[string]*histogram    // endpoint -> latency histogram
+	shed        int64
+	rateLimited int64
+}
+
+type histogram struct {
+	counts []int64 // one per bucket, non-cumulative
+	sum    float64
+	n      int64
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: map[string]map[int]int64{},
+		hist:     map[string]*histogram{},
+	}
+}
+
+// Observe records one finished request.
+func (m *Metrics) Observe(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.requests[endpoint] == nil {
+		m.requests[endpoint] = map[int]int64{}
+	}
+	m.requests[endpoint][code]++
+	h := m.hist[endpoint]
+	if h == nil {
+		h = &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+		m.hist[endpoint] = h
+	}
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.counts[i]++
+	h.sum += sec
+	h.n++
+}
+
+// Shed counts one request rejected by the in-flight limiter.
+func (m *Metrics) Shed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// RateLimited counts one request rejected by a token bucket.
+func (m *Metrics) RateLimited() {
+	m.mu.Lock()
+	m.rateLimited++
+	m.mu.Unlock()
+}
+
+// WriteProm renders the request metrics in Prometheus text format, with
+// endpoints and codes in sorted order so output is deterministic.
+func (m *Metrics) WriteProm(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP empiricod_requests_total Requests handled, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE empiricod_requests_total counter")
+	for _, ep := range sortedKeys(m.requests) {
+		codes := make([]int, 0, len(m.requests[ep]))
+		for c := range m.requests[ep] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "empiricod_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, m.requests[ep][c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP empiricod_request_duration_seconds Request latency, by endpoint.")
+	fmt.Fprintln(w, "# TYPE empiricod_request_duration_seconds histogram")
+	for _, ep := range sortedKeys(m.hist) {
+		h := m.hist[ep]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "empiricod_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "empiricod_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "empiricod_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "empiricod_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.n)
+	}
+
+	fmt.Fprintln(w, "# HELP empiricod_shed_total Requests rejected because the in-flight limit was reached.")
+	fmt.Fprintln(w, "# TYPE empiricod_shed_total counter")
+	fmt.Fprintf(w, "empiricod_shed_total %d\n", m.shed)
+	fmt.Fprintln(w, "# HELP empiricod_rate_limited_total Requests rejected by per-endpoint token buckets.")
+	fmt.Fprintln(w, "# TYPE empiricod_rate_limited_total counter")
+	fmt.Fprintf(w, "empiricod_rate_limited_total %d\n", m.rateLimited)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token-bucket rate limiter: capacity `burst` tokens refilled
+// at `rate` per second; each allowed request spends one token.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// allow spends a token if one is available at time now.
+func (b *bucket) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

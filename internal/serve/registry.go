@@ -1,0 +1,193 @@
+// Package serve is the service layer of the reproduction: an HTTP JSON
+// front-end (stdlib net/http only) over the measurement farm, the simulator
+// and the empirical-model pipeline. cmd/empiricod hosts it as a daemon.
+//
+// The package provides four pieces:
+//
+//   - Registry: fitted models cached per (workload, scale) behind
+//     single-flight, so the first wave of concurrent predict requests trains
+//     exactly once, with LRU eviction bounding resident models;
+//   - Coalescer: concurrent measure requests for overlapping points are
+//     batched into one farm.MeasureBatch call per ~10ms window, so many
+//     small callers exercise the farm's dedup and worker pool the way one
+//     big batch caller does;
+//   - Server: the HTTP handlers (/v1/predict, /v1/measure, /v1/search,
+//     /v1/rank, /healthz, /metrics) with per-endpoint token-bucket rate
+//     limiting, max-in-flight shedding and graceful shutdown;
+//   - Metrics: a hand-rolled Prometheus-text exporter for request counters,
+//     latency histograms and the farm/registry/coalescer gauges.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/doe"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+// Artifacts is everything one training run produces and the service needs
+// to answer predict and rank requests: the fitted models of every kind, the
+// space they are coded over, and the coded training matrix (the background
+// points effect ranking averages over).
+type Artifacts struct {
+	Workload workloads.Workload
+	Space    *doe.Space
+	Models   map[string]model.Model
+	TrainX   [][]float64
+}
+
+// Model resolves a model kind ("linear", "mars", "rbf", "mars-raw"; "" means
+// rbf, the paper's search surrogate).
+func (a *Artifacts) Model(kind string) (model.Model, error) {
+	if kind == "" {
+		kind = "rbf"
+	}
+	m, ok := a.Models[kind]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model kind %q", kind)
+	}
+	return m, nil
+}
+
+// Trainer produces the artifacts for one (workload, scale) pair. The
+// harness-backed trainer measures the training design (warm-started from
+// the farm's durable store) and runs exp.FitAllParallel; tests inject
+// stubs. Trainers are called outside the registry lock and may run long.
+type Trainer func(ctx context.Context, w workloads.Workload, scale string) (*Artifacts, error)
+
+// Registry caches fitted models per (workload, scale) key. Lookups are
+// single-flight: concurrent first requests for a key block on one training
+// run instead of each starting their own. Every model kind is fitted in the
+// same run (exp.FitAll trains all four from one dataset), so the finer
+// (workload, scale, kind) request key resolves onto one shared cache entry.
+// Least-recently-used entries are evicted beyond MaxEntries.
+type Registry struct {
+	trainer Trainer
+	max     int
+
+	mu      sync.Mutex
+	entries map[string]*regEntry
+	order   []string // LRU order: least recently used first
+	stats   RegistryStats
+}
+
+// regEntry is one cached (possibly still-training) artifact set. Waiters
+// hold the pointer, so eviction never invalidates an in-progress lookup.
+type regEntry struct {
+	ready chan struct{} // closed when art/err are set
+	art   *Artifacts
+	err   error
+}
+
+// RegistryStats snapshots the registry's counters.
+type RegistryStats struct {
+	Cached    int   // entries resident (including in-training)
+	Fits      int64 // training runs started
+	Hits      int64 // lookups that found an entry (trained or in-flight)
+	Misses    int64 // lookups that started a training run
+	Evictions int64
+}
+
+// NewRegistry returns a registry over trainer holding at most maxEntries
+// fitted (workload, scale) pairs (0 means 8).
+func NewRegistry(trainer Trainer, maxEntries int) *Registry {
+	if maxEntries <= 0 {
+		maxEntries = 8
+	}
+	return &Registry{trainer: trainer, max: maxEntries, entries: map[string]*regEntry{}}
+}
+
+func regKey(w workloads.Workload, scale string) string { return w.Key() + "|" + scale }
+
+// Get returns the artifacts for (w, scale), training them on first use. The
+// second return reports whether the call was served from cache (true even
+// when it joined a training run already in flight — no new fit was started).
+// ctx bounds only this caller's wait: training itself runs under a
+// background context, because its result is shared with every other waiter
+// and with future requests — a disconnecting first client must not abort a
+// fit that others are (or will be) waiting on.
+func (r *Registry) Get(ctx context.Context, w workloads.Workload, scale string) (*Artifacts, bool, error) {
+	key := regKey(w, scale)
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	if ok {
+		r.stats.Hits++
+		r.touch(key)
+		r.mu.Unlock()
+		return e.wait(ctx)
+	}
+	e = &regEntry{ready: make(chan struct{})}
+	r.entries[key] = e
+	r.order = append(r.order, key)
+	r.stats.Misses++
+	r.stats.Fits++
+	r.evictLocked()
+	r.mu.Unlock()
+
+	go func() {
+		art, err := r.trainer(context.Background(), w, scale)
+		e.art, e.err = art, err
+		if err != nil {
+			// A failed fit must not be cached: drop the entry so the next
+			// request retrains instead of replaying a stale error.
+			r.mu.Lock()
+			if r.entries[key] == e {
+				delete(r.entries, key)
+				r.removeFromOrder(key)
+			}
+			r.mu.Unlock()
+		}
+		close(e.ready)
+	}()
+	art, _, err := e.wait(ctx)
+	return art, false, err
+}
+
+// wait blocks until the entry is trained or ctx expires.
+func (e *regEntry) wait(ctx context.Context) (*Artifacts, bool, error) {
+	select {
+	case <-e.ready:
+		return e.art, true, e.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// touch marks key most recently used. Caller holds mu.
+func (r *Registry) touch(key string) {
+	r.removeFromOrder(key)
+	r.order = append(r.order, key)
+}
+
+func (r *Registry) removeFromOrder(key string) {
+	for i, k := range r.order {
+		if k == key {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked drops least-recently-used entries beyond the capacity. Caller
+// holds mu. Evicted entries stay valid for goroutines already holding them;
+// they simply stop being findable, so the next request retrains.
+func (r *Registry) evictLocked() {
+	for len(r.order) > r.max {
+		victim := r.order[0]
+		r.order = r.order[1:]
+		delete(r.entries, victim)
+		r.stats.Evictions++
+	}
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.Cached = len(r.entries)
+	return st
+}

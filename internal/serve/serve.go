@@ -1,0 +1,688 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/doe"
+	"repro/internal/exp"
+	"repro/internal/farm"
+	"repro/internal/model"
+	"repro/internal/search"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Options configures a Server. The zero value serves with defaults: scale
+// "default", in-memory measurement store, GOMAXPROCS workers.
+type Options struct {
+	// Scale names the harness scale measurements and (by default) trained
+	// models use: "quick", "default" or "paper".
+	Scale string
+	// CacheDir, when set, persists measurements durably (journal +
+	// checkpoint) and warm-starts model training from prior runs' results.
+	CacheDir string
+	// Workers bounds the measurement farm and analytics concurrency
+	// (0 = GOMAXPROCS).
+	Workers int
+	// MaxInstrs bounds each simulation (0 = the farm default of 500M).
+	MaxInstrs int64
+	// TrainPoints, when > 0, overrides every scale's training-design size —
+	// the smoke-test knob that keeps first-request training cheap.
+	TrainPoints int
+	// MaxModels bounds the registry's resident (workload, scale) entries
+	// (0 = 8).
+	MaxModels int
+	// CoalesceWindow is the measure-batching window (0 = 10ms).
+	CoalesceWindow time.Duration
+	// RatePerSec and RateBurst configure the per-endpoint token buckets
+	// (0 = 50 req/s with burst 100). /healthz and /metrics are not limited.
+	RatePerSec float64
+	RateBurst  float64
+	// MaxInFlight bounds concurrently handled requests; excess requests are
+	// shed with 429 (0 = 256).
+	MaxInFlight int
+	// Log receives harness/farm progress lines; nil silences them.
+	Log io.Writer
+
+	// Measure, when non-nil, replaces the compile+simulate executor on
+	// every harness the server creates (test seam).
+	Measure farm.MeasureFunc
+	// Trainer, when non-nil, replaces the harness-backed model trainer
+	// (test seam).
+	Trainer Trainer
+	// Batch, when non-nil, replaces the farm-backed batch measurement the
+	// coalescer dispatches to (test seam).
+	Batch BatchFunc
+}
+
+// Server is the HTTP service over the measurement and modeling pipeline.
+// Create with New, mount Handler on an http.Server, and Close during
+// shutdown after the listener has drained.
+type Server struct {
+	opts      Options
+	registry  *Registry
+	coalescer *Coalescer
+	metrics   *Metrics
+	limits    map[string]*bucket
+	inFlight  atomic.Int64
+	maxFlight int64
+	start     time.Time
+	mux       *http.ServeMux
+
+	mu        sync.Mutex
+	harnesses map[string]*exp.Harness
+	closed    bool
+}
+
+// New builds a server. No harness or model exists until the first request
+// that needs one.
+func New(opts Options) *Server {
+	if opts.Scale == "" {
+		opts.Scale = "default"
+	}
+	if opts.RatePerSec <= 0 {
+		opts.RatePerSec = 50
+	}
+	if opts.RateBurst <= 0 {
+		opts.RateBurst = 100
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 256
+	}
+	s := &Server{
+		opts:      opts,
+		metrics:   NewMetrics(),
+		maxFlight: int64(opts.MaxInFlight),
+		start:     time.Now(),
+		harnesses: map[string]*exp.Harness{},
+	}
+	trainer := opts.Trainer
+	if trainer == nil {
+		trainer = s.harnessTrainer
+	}
+	s.registry = NewRegistry(trainer, opts.MaxModels)
+	batch := opts.Batch
+	if batch == nil {
+		batch = s.farmBatch
+	}
+	s.coalescer = NewCoalescer(batch, opts.CoalesceWindow)
+
+	s.limits = map[string]*bucket{}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/predict", "predict", s.handlePredict)
+	s.route("POST /v1/measure", "measure", s.handleMeasure)
+	s.route("POST /v1/search", "search", s.handleSearch)
+	s.route("GET /v1/rank", "rank", s.handleRank)
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route mounts an API endpoint behind its token bucket and the shared
+// in-flight limiter.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	b := newBucket(s.opts.RatePerSec, s.opts.RateBurst)
+	s.limits[name] = b
+	s.mux.HandleFunc(pattern, s.instrument(name, func(w http.ResponseWriter, r *http.Request) {
+		if !b.allow(time.Now()) {
+			s.metrics.RateLimited()
+			writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		if n := s.inFlight.Load(); n > s.maxFlight {
+			s.metrics.Shed()
+			writeErr(w, http.StatusTooManyRequests, "server at capacity")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+		h(w, r)
+	}))
+}
+
+// instrument wraps a handler with the in-flight gauge and request metrics.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.Observe(name, sw.code, time.Since(start))
+	}
+}
+
+// statusWriter records the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer (the search stream needs it).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// scaleFor resolves a request's scale name (empty means the server default)
+// with the TrainPoints override applied.
+func (s *Server) scaleFor(name string) (exp.Scale, error) {
+	if name == "" {
+		name = s.opts.Scale
+	}
+	sc, err := exp.ScaleByName(name)
+	if err != nil {
+		return exp.Scale{}, err
+	}
+	if s.opts.TrainPoints > 0 {
+		sc.TrainPoints = s.opts.TrainPoints
+	}
+	return sc, nil
+}
+
+// harnessFor returns the shared harness for a scale, creating it on first
+// use. Harnesses (and so their farms and durable stores) are per scale,
+// matching the on-disk cache layout (measurements-<scale>.json).
+func (s *Server) harnessFor(scaleName string) (*exp.Harness, error) {
+	sc, err := s.scaleFor(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("serve: server closed")
+	}
+	if h, ok := s.harnesses[sc.Name]; ok {
+		return h, nil
+	}
+	h := exp.NewHarness(sc)
+	h.CacheDir = s.opts.CacheDir
+	h.Workers = s.opts.Workers
+	h.MaxInstrs = s.opts.MaxInstrs
+	h.Log = s.opts.Log
+	h.Measure = s.opts.Measure
+	s.harnesses[sc.Name] = h
+	return h, nil
+}
+
+// harnessTrainer is the production Trainer: fit every model kind on the
+// training design measured through the scale's harness (and so warm-started
+// from the durable store when CacheDir is set).
+func (s *Server) harnessTrainer(ctx context.Context, w workloads.Workload, scale string) (*Artifacts, error) {
+	h, err := s.harnessFor(scale)
+	if err != nil {
+		return nil, err
+	}
+	models, trainX, err := h.FitModels(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifacts{Workload: w, Space: h.Space(), Models: models, TrainX: trainX}, nil
+}
+
+// farmBatch is the production BatchFunc: one farm.MeasureBatch on the
+// default scale's harness.
+func (s *Server) farmBatch(ctx context.Context, w workloads.Workload, pts []doe.Point, resp farm.Response) ([]float64, error) {
+	h, err := s.harnessFor("")
+	if err != nil {
+		return nil, err
+	}
+	return h.Farm().MeasureBatch(ctx, w, pts, resp)
+}
+
+// Close checkpoints and drains every harness farm. Call after the HTTP
+// listener has stopped accepting (http.Server.Shutdown), so no handler is
+// mid-measurement.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	hs := make([]*exp.Harness, 0, len(s.harnesses))
+	for _, h := range s.harnesses {
+		hs = append(hs, h)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, h := range hs {
+		if err := h.SaveCache(); err != nil && first == nil {
+			first = err
+		}
+		if err := h.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ---- request/response types ----
+
+// PredictRequest asks for model predictions at raw design points.
+type PredictRequest struct {
+	Workload string `json:"workload"`
+	// Class is the input class, "train" (default) or "ref".
+	Class string `json:"class,omitempty"`
+	// Scale selects the training scale ("" = server default).
+	Scale string `json:"scale,omitempty"`
+	// Model is the kind: "linear", "mars", "rbf" (default), "mars-raw".
+	Model string `json:"model,omitempty"`
+	// Points are raw joint-space points (25 values each).
+	Points [][]int64 `json:"points"`
+}
+
+// PredictResponse carries predictions in request order.
+type PredictResponse struct {
+	Model string `json:"model"`
+	// Cached reports whether the request was answered from an
+	// already-trained registry entry (no new fit started on its behalf).
+	Cached      bool      `json:"cached"`
+	Predictions []float64 `json:"predictions"`
+}
+
+// MeasureRequest asks for ground-truth measurements (compile + simulate).
+type MeasureRequest struct {
+	Workload string `json:"workload"`
+	Class    string `json:"class,omitempty"`
+	// Response is "cycles" (default) or "energy".
+	Response string    `json:"response,omitempty"`
+	Points   [][]int64 `json:"points"`
+	// TimeoutMS bounds the request server-side (on top of the client's
+	// connection lifetime, which also cancels it).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// MeasureResponse carries measured values in request order.
+type MeasureResponse struct {
+	Response string    `json:"response"`
+	Values   []float64 `json:"values"`
+}
+
+// SearchRequest runs the model-based GA flag search with a frozen
+// microarchitecture.
+type SearchRequest struct {
+	Workload string `json:"workload"`
+	Class    string `json:"class,omitempty"`
+	Scale    string `json:"scale,omitempty"`
+	Model    string `json:"model,omitempty"`
+	// March is the frozen microarchitectural block (11 raw values); empty
+	// means the paper's typical configuration.
+	March       []int64 `json:"march,omitempty"`
+	Population  int     `json:"population,omitempty"`
+	Generations int     `json:"generations,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+}
+
+// SearchProgress is one streamed generation record; the final record has
+// Done set and carries the totals.
+type SearchProgress struct {
+	Gen       int       `json:"gen"`
+	Predicted float64   `json:"predicted"`
+	Best      doe.Point `json:"best"`
+	Done      bool      `json:"done,omitempty"`
+	Evals     int       `json:"evals,omitempty"`
+}
+
+// RankedEffect is one entry of the rank endpoint's response.
+type RankedEffect struct {
+	Label string  `json:"label"`
+	Value float64 `json:"value"`
+}
+
+// RankResponse lists the largest-magnitude effects of the fitted model.
+type RankResponse struct {
+	Workload string         `json:"workload"`
+	Model    string         `json:"model"`
+	Effects  []RankedEffect `json:"effects"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	wl, err := resolveWorkload(req.Workload, req.Class)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Points) == 0 {
+		writeErr(w, http.StatusBadRequest, "no points")
+		return
+	}
+	art, cached, err := s.registry.Get(r.Context(), wl, s.resolveScale(req.Scale))
+	if err != nil {
+		writeErr(w, statusFor(err), "train: "+err.Error())
+		return
+	}
+	m, err := art.Model(req.Model)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	coded, err := codePoints(art.Space, req.Points)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	preds := model.PredictAllParallel(m, coded, s.opts.Workers)
+	writeJSON(w, http.StatusOK, PredictResponse{Model: m.Name(), Cached: cached, Predictions: preds})
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var req MeasureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	wl, err := resolveWorkload(req.Workload, req.Class)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := resolveResponse(req.Response)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Response == "" {
+		req.Response = "cycles"
+	}
+	space := doe.JointSpace()
+	pts := make([]doe.Point, len(req.Points))
+	for i, raw := range req.Points {
+		pts[i] = doe.Point(raw)
+		if err := space.Validate(pts[i]); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
+			return
+		}
+	}
+	if len(pts) == 0 {
+		writeErr(w, http.StatusBadRequest, "no points")
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	vals, err := s.coalescer.Measure(ctx, wl, pts, resp)
+	if err != nil {
+		writeErr(w, statusFor(err), "measure: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, MeasureResponse{Response: req.Response, Values: vals})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	wl, err := resolveWorkload(req.Workload, req.Class)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	march := req.March
+	if len(march) == 0 {
+		march = doe.FromConfig(sim.DefaultConfig())
+	}
+	if len(march) != doe.MicroarchSpace().NumVars() {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("march has %d values, want %d", len(march), doe.MicroarchSpace().NumVars()))
+		return
+	}
+	scaleName := s.resolveScale(req.Scale)
+	art, _, err := s.registry.Get(r.Context(), wl, scaleName)
+	if err != nil {
+		writeErr(w, statusFor(err), "train: "+err.Error())
+		return
+	}
+	m, err := art.Model(req.Model)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sc, err := s.scaleFor(scaleName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opt := searchOptions(req, sc, s.opts.Workers)
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	// Stream one JSON line per generation; a client that disconnects
+	// cancels r.Context(), which stops the GA at the next generation.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	opt.Progress = func(gen int, best doe.Point, predicted float64) {
+		enc.Encode(SearchProgress{Gen: gen, Predicted: predicted, Best: best})
+		flush()
+	}
+	res, err := search.FindCompilerSettingsCtx(
+		r.Context(), art.Space, m, march, opt, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		// Headers are sent; the truncated stream (no done record) tells the
+		// client the search did not complete.
+		return
+	}
+	enc.Encode(SearchProgress{
+		Gen: opt.Generations, Predicted: res.Predicted, Best: res.Point,
+		Done: true, Evals: res.Evals,
+	})
+	flush()
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	wl, err := resolveWorkload(q.Get("workload"), q.Get("class"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	n := 10
+	if v := q.Get("n"); v != "" {
+		n, err = strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+	}
+	art, _, err := s.registry.Get(r.Context(), wl, s.resolveScale(q.Get("scale")))
+	if err != nil {
+		writeErr(w, statusFor(err), "train: "+err.Error())
+		return
+	}
+	kind := q.Get("model")
+	if kind == "" {
+		// Raw-scale MARS coefficients are in cycles — the interpretable
+		// ranking the paper's Table 4 reports.
+		kind = "mars-raw"
+	}
+	m, err := art.Model(kind)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	top := model.TopEffects(m, art.Space, art.TrainX, n)
+	out := RankResponse{Workload: wl.Key(), Model: kind}
+	for _, e := range top {
+		out.Effects = append(out.Effects, RankedEffect{Label: e.Label(), Value: e.Value})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteProm(w)
+
+	fmt.Fprintln(w, "# HELP empiricod_in_flight Requests currently being handled.")
+	fmt.Fprintln(w, "# TYPE empiricod_in_flight gauge")
+	fmt.Fprintf(w, "empiricod_in_flight %d\n", s.inFlight.Load())
+
+	rs := s.registry.Stats()
+	fmt.Fprintln(w, "# HELP empiricod_models_cached Fitted model sets resident in the registry.")
+	fmt.Fprintln(w, "# TYPE empiricod_models_cached gauge")
+	fmt.Fprintf(w, "empiricod_models_cached %d\n", rs.Cached)
+	fmt.Fprintln(w, "# HELP empiricod_model_fits_total Training runs started.")
+	fmt.Fprintln(w, "# TYPE empiricod_model_fits_total counter")
+	fmt.Fprintf(w, "empiricod_model_fits_total %d\n", rs.Fits)
+	fmt.Fprintf(w, "empiricod_model_registry_hits_total %d\n", rs.Hits)
+	fmt.Fprintf(w, "empiricod_model_registry_evictions_total %d\n", rs.Evictions)
+
+	fmt.Fprintln(w, "# HELP empiricod_measure_batches_total Coalesced farm batches dispatched.")
+	fmt.Fprintln(w, "# TYPE empiricod_measure_batches_total counter")
+	fmt.Fprintf(w, "empiricod_measure_batches_total %d\n", s.coalescer.Batches())
+
+	// Farm gauges, one block per scale harness that has run measurements.
+	s.mu.Lock()
+	names := make([]string, 0, len(s.harnesses))
+	for name := range s.harnesses {
+		names = append(names, name)
+	}
+	hs := make(map[string]*exp.Harness, len(names))
+	for _, n := range names {
+		hs[n] = s.harnesses[n]
+	}
+	s.mu.Unlock()
+	for _, name := range sortedKeys(hs) {
+		st := hs[name].FarmStats()
+		if st.Workers == 0 {
+			continue
+		}
+		emit := func(metric string, v int64) {
+			fmt.Fprintf(w, "empiricod_farm_%s{scale=%q} %d\n", metric, name, v)
+		}
+		emit("workers", int64(st.Workers))
+		emit("cache_hits_total", st.CacheHits)
+		emit("cache_misses_total", st.CacheMisses)
+		emit("coalesced_total", st.Coalesced)
+		emit("sims_total", st.SimsExecuted)
+		emit("instrs_total", st.InstrsSimulated)
+		emit("retries_total", st.Retries)
+		emit("failures_total", st.Failures)
+	}
+}
+
+// ---- helpers ----
+
+// resolveScale maps an empty request scale to the server default.
+func (s *Server) resolveScale(name string) string {
+	if name == "" {
+		return s.opts.Scale
+	}
+	return name
+}
+
+func resolveWorkload(name, class string) (workloads.Workload, error) {
+	if name == "" {
+		return workloads.Workload{}, fmt.Errorf("serve: missing workload")
+	}
+	cls := workloads.Train
+	switch class {
+	case "", "train":
+	case "ref":
+		cls = workloads.Ref
+	default:
+		return workloads.Workload{}, fmt.Errorf("serve: unknown input class %q (train|ref)", class)
+	}
+	return workloads.Get(name, cls)
+}
+
+func resolveResponse(name string) (farm.Response, error) {
+	switch name {
+	case "", "cycles":
+		return farm.Cycles, nil
+	case "energy":
+		return farm.Energy, nil
+	}
+	return 0, fmt.Errorf("serve: unknown response %q (cycles|energy)", name)
+}
+
+func codePoints(space *doe.Space, raw [][]int64) ([][]float64, error) {
+	coded := make([][]float64, len(raw))
+	for i, rp := range raw {
+		p := doe.Point(rp)
+		if err := space.Validate(p); err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		coded[i] = space.Code(p)
+	}
+	return coded, nil
+}
+
+func statusFor(err error) int {
+	switch err {
+	case context.Canceled:
+		return 499 // client closed request (nginx convention)
+	case context.DeadlineExceeded:
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func searchOptions(req SearchRequest, sc exp.Scale, workers int) search.GAOptions {
+	opt := search.GAOptions{
+		Population:  req.Population,
+		Generations: req.Generations,
+		Workers:     workers,
+	}
+	if opt.Population <= 0 {
+		opt.Population = sc.GAPopulation
+	}
+	if opt.Generations <= 0 {
+		opt.Generations = sc.GAGenerations
+	}
+	return opt
+}
