@@ -15,11 +15,13 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/doe"
 	"repro/internal/exp"
+	"repro/internal/farm"
 	"repro/internal/model"
 	"repro/internal/search"
 	"repro/internal/sim"
@@ -638,4 +641,91 @@ func BenchmarkSMARTSParallel(b *testing.B) {
 		par = time.Since(start)
 	}
 	b.ReportMetric(seq.Seconds()/par.Seconds(), "vs-single-run-x")
+}
+
+// batchWorkloadSource generates the shared-trace benchmark workload: many
+// mid-sized functions so O3 inlining and unrolling make compilation the
+// dominant cost, with a short dynamic run (~110k committed instructions).
+// That is the shape the batch planner exploits — a Table-7 sweep recompiles
+// this program once per microarch point on the old path and exactly once on
+// the grouped path.
+func batchWorkloadSource() string {
+	var sb strings.Builder
+	sb.WriteString("int seed = 4242;\nint data[512];\n")
+	for fn := 0; fn < 24; fn++ {
+		fmt.Fprintf(&sb, "int stage%d(int x) {\n\tint acc = x + %d;\n", fn, fn*17)
+		for s := 0; s < 12; s++ {
+			fmt.Fprintf(&sb, "\tacc = (acc * %d + data[(acc + %d) & 511]) ^ %d;\n", 3+s, s*31+fn, fn*s+7)
+		}
+		sb.WriteString("\treturn acc;\n}\n")
+	}
+	sb.WriteString("int main() {\n\tfor (int i = 0; i < 512; i = i + 1) {\n")
+	sb.WriteString("\t\tseed = (seed * 1103515245 + 12345) & 2147483647;\n\t\tdata[i] = (seed >> 7) % 1024;\n\t}\n\tint sum = 0;\n")
+	sb.WriteString("\tfor (int r = 0; r < 20; r = r + 1) {\n")
+	for fn := 0; fn < 24; fn++ {
+		fmt.Fprintf(&sb, "\t\tsum = sum + stage%d(sum + r);\n", fn)
+	}
+	sb.WriteString("\t}\n\treturn sum & 1073741823;\n}\n")
+	return sb.String()
+}
+
+// batchSweep builds a Table-7-shaped batch: one fixed O3 flag vector crossed
+// with twelve microarchitecture variants, all at issue width 4 so every
+// point shares one binary.
+func batchSweep() []doe.Point {
+	o3 := compiler.O3()
+	variant := func(mut func(*sim.Config)) doe.Point {
+		c := sim.DefaultConfig()
+		mut(&c)
+		return doe.JoinPoint(doe.FromOptions(o3), doe.FromConfig(c))
+	}
+	return []doe.Point{
+		variant(func(c *sim.Config) {}),
+		variant(func(c *sim.Config) { c.MemLat = 150 }),
+		variant(func(c *sim.Config) { c.MemLat = 60 }),
+		variant(func(c *sim.Config) { c.BPredSize = 512 }),
+		variant(func(c *sim.Config) { c.BPredSize = 8192 }),
+		variant(func(c *sim.Config) { c.RUUSize = 32 }),
+		variant(func(c *sim.Config) { c.ICacheKB = 16 }),
+		variant(func(c *sim.Config) { c.DCacheKB = 64 }),
+		variant(func(c *sim.Config) { c.DCacheLat = 3 }),
+		variant(func(c *sim.Config) { c.L2KB = 256; c.L2Lat = 6 }),
+		variant(func(c *sim.Config) { c.L2Lat = 16 }),
+		variant(func(c *sim.Config) { c.L2Assoc = 16 }),
+	}
+}
+
+// BenchmarkMeasureBatchShared compares a fixed-flags/varying-microarch batch
+// (the Table 7 shape) on the grouped farm — compile once, interpret once,
+// one timing consumer per config — against the pre-grouping path that
+// compiles and fully simulates every point independently. Both farms run
+// cold (no store, empty binary cache) with four workers; the ratio is the
+// headline number gated by `benchcheck -set farm`. On one core the entire
+// win is eliminated CPU work, so the ratio is machine-stable.
+func BenchmarkMeasureBatchShared(b *testing.B) {
+	w := workloads.Workload{Name: "910.batch", Input: "bench", Class: workloads.Train, Source: batchWorkloadSource()}
+	w.Parse() // warm the memoized AST so neither path pays the one-time parse
+	points := batchSweep()
+	run := func(opts farm.Options) time.Duration {
+		f := farm.New(opts)
+		defer f.Close()
+		start := time.Now()
+		if _, err := f.MeasureBatch(context.Background(), w, points, farm.Cycles); err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if st := f.Stats(); opts.Measure == nil && st.BinaryGroups == 0 {
+			b.Fatal("grouped farm formed no shared-trace groups")
+		}
+		return elapsed
+	}
+	var grouped, ungrouped time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ungrouped += run(farm.Options{Workers: 4, Measure: farm.Executor(0)})
+		grouped += run(farm.Options{Workers: 4})
+	}
+	b.ReportMetric(grouped.Seconds()*1e3/float64(b.N), "grouped-ms")
+	b.ReportMetric(ungrouped.Seconds()/grouped.Seconds(), "shared-x")
+	b.ReportMetric(float64(len(points)), "points")
 }

@@ -19,6 +19,15 @@
 //	go test -run '^$' -bench 'FitMARS$|DOptimal$|CrossValidate$|GASearch$' -benchtime=1x . |
 //	    go run ./cmd/benchcheck -set model -baseline BENCH_model.json -out BENCH_model.json
 //
+//	-set farm: the measurement farm's batch planner, gated on the
+//	    grouped-vs-ungrouped wall-clock ratio of a fixed-flags Table-7
+//	    sweep (a hard floor: the shared-trace path eliminates CPU work,
+//	    so the ratio holds on any core count) plus the grouped batch's
+//	    wall clock.
+//
+//	go test -run '^$' -bench 'MeasureBatchShared$' -benchtime=1x . |
+//	    go run ./cmd/benchcheck -set farm -baseline BENCH_farm.json -out BENCH_farm.json
+//
 // Regenerate a baseline by committing the freshly written file.
 package main
 
@@ -57,12 +66,25 @@ type ModelNumbers struct {
 	GASpeedupX       float64 `json:"ga_speedup_x"`
 }
 
+// FarmNumbers is the schema of BENCH_farm.json.
+type FarmNumbers struct {
+	// GroupedMs is wall-clock milliseconds for the grouped (compile-once /
+	// interpret-once) batch from BenchmarkMeasureBatchShared.
+	GroupedMs float64 `json:"grouped_ms"`
+	// SharedSpeedupX is the ungrouped/grouped wall-clock ratio from the
+	// same benchmark.
+	SharedSpeedupX float64 `json:"shared_speedup_x"`
+	// Points is the batch size the ratio was measured at.
+	Points float64 `json:"points"`
+}
+
 func main() {
-	set := flag.String("set", "sim", "benchmark set to parse and gate: sim|model")
+	set := flag.String("set", "sim", "benchmark set to parse and gate: sim|model|farm")
 	baselinePath := flag.String("baseline", "", "committed baseline to compare against (default BENCH_<set>.json; missing file skips the check)")
 	outPath := flag.String("out", "", "where to write the fresh numbers (default BENCH_<set>.json)")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated fractional regression")
 	minDOptSpeedup := flag.Float64("min-doptimal-speedup", 3, "hard floor on the model set's doptimal_speedup_x")
+	minSharedSpeedup := flag.Float64("min-shared-speedup", 2, "hard floor on the farm set's shared_speedup_x")
 	flag.Parse()
 
 	def := "BENCH_" + *set + ".json"
@@ -82,8 +104,10 @@ func main() {
 		checkSim(lines, *baselinePath, *outPath, *maxRegress)
 	case "model":
 		checkModel(lines, *baselinePath, *outPath, *maxRegress, *minDOptSpeedup)
+	case "farm":
+		checkFarm(lines, *baselinePath, *outPath, *maxRegress, *minSharedSpeedup)
 	default:
-		fatal(fmt.Errorf("benchcheck: unknown -set %q (sim|model)", *set))
+		fatal(fmt.Errorf("benchcheck: unknown -set %q (sim|model|farm)", *set))
 	}
 }
 
@@ -184,6 +208,41 @@ func checkModel(lines []benchLine, baselinePath, outPath string, maxRegress, min
 			fatal(fmt.Errorf("benchcheck: %s regressed %.0f%% (limit %.0f%%)",
 				s.name, 100*(ratio-1), 100*maxRegress))
 		}
+	}
+}
+
+func checkFarm(lines []benchLine, baselinePath, outPath string, maxRegress, minSharedSpeedup float64) {
+	cur := &FarmNumbers{}
+	var have bool
+	for _, l := range lines {
+		if strings.HasPrefix(l.name, "BenchmarkMeasureBatchShared") {
+			cur.GroupedMs = l.metrics["grouped-ms"]
+			cur.SharedSpeedupX = l.metrics["shared-x"]
+			cur.Points = l.metrics["points"]
+			have = true
+		}
+	}
+	if !have {
+		fatal(fmt.Errorf("benchcheck: farm set needs BenchmarkMeasureBatchShared, not found in input"))
+	}
+
+	base := &FarmNumbers{}
+	writeAndLoadBaseline(cur, base, baselinePath, outPath)
+	fmt.Printf("benchcheck: grouped batch %.0fms, %.2fx vs per-point path (%d points)\n",
+		cur.GroupedMs, cur.SharedSpeedupX, int(cur.Points))
+	if cur.SharedSpeedupX < minSharedSpeedup {
+		fatal(fmt.Errorf("benchcheck: shared-trace speedup %.2fx below floor %.1fx",
+			cur.SharedSpeedupX, minSharedSpeedup))
+	}
+	if base.GroupedMs <= 0 {
+		fmt.Println("benchcheck: no baseline, skipping regression check")
+		return
+	}
+	ratio := cur.GroupedMs / base.GroupedMs
+	fmt.Printf("benchcheck: grouped_ms %.2fx of baseline (%.0fms)\n", ratio, base.GroupedMs)
+	if ratio > 1+maxRegress {
+		fatal(fmt.Errorf("benchcheck: grouped_ms regressed %.0f%% (limit %.0f%%)",
+			100*(ratio-1), 100*maxRegress))
 	}
 }
 

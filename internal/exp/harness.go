@@ -252,19 +252,12 @@ func (h *Harness) BuildDataset(w workloads.Workload, points []doe.Point) (*model
 
 // Prefetch submits measurement jobs to the farm and waits for all of them,
 // warming the result store so a subsequent serial pass is pure cache hits.
-// Errors are deliberately dropped: the serial pass re-requests every point
-// and reports failures in its own deterministic (input) order.
+// The jobs go through the farm's batch planner, so points sharing a binary
+// (Table 7's per-march sweeps at fixed flags) are compiled and interpreted
+// once. Errors are deliberately dropped: the serial pass re-requests every
+// point and reports failures in its own deterministic (input) order.
 func (h *Harness) Prefetch(jobs []farm.Job) {
-	f := h.Farm()
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j farm.Job) {
-			defer wg.Done()
-			_, _ = f.Do(context.Background(), j)
-		}(j)
-	}
-	wg.Wait()
+	_, _ = h.Farm().DoJobs(context.Background(), jobs)
 }
 
 // FitModels measures the training design for w (warm-started from the

@@ -1,0 +1,349 @@
+package farm
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/compiler"
+	"repro/internal/doe"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// BinaryKey returns the identity of the compiled binary a job needs: the
+// workload (name and source text) plus everything the compiler sees — the
+// 14-flag compiler subvector and the target issue width, which
+// doe.ToOptions reads out of the microarchitecture block for scheduling.
+// Two jobs with equal binary keys compile to the same *isa.Program, and
+// therefore produce the same committed-instruction stream; only the timing
+// differs. The version tag is shared with Key so semantic changes
+// invalidate both identities together.
+func BinaryKey(w workloads.Workload, p doe.Point) string {
+	cfg := doe.ToConfig(p)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v3|%s|%s|w%d|", w.Key(), w.Source, cfg.IssueWidth)
+	for _, v := range p[:doe.NumCompilerVars] {
+		fmt.Fprintf(h, "%d,", v)
+	}
+	return fmt.Sprintf("%s|bin%x", w.Key(), h.Sum64())
+}
+
+// compileFn builds the binary for a job; the Farm's instance defaults to
+// the real compiler and is swappable in tests to inject compile failures.
+type compileFn func(w workloads.Workload, p doe.Point, cfg sim.Config) (*isa.Program, error)
+
+func defaultCompile(w workloads.Workload, p doe.Point, cfg sim.Config) (*isa.Program, error) {
+	prog, _, err := compiler.Compile(w.Parse(), doe.ToOptions(p, cfg.IssueWidth))
+	return prog, err
+}
+
+// binEntry is one cache slot; ready is closed once prog/err are final.
+type binEntry struct {
+	key   string
+	ready chan struct{}
+	done  bool // guarded by binaryCache.mu; set before ready closes
+	prog  *isa.Program
+	err   error
+}
+
+// binaryCache is a bounded LRU of compiled binaries with single-flight
+// builds: concurrent requests for the same key trigger one compile, with
+// later callers waiting on the first. Failed builds are removed before
+// their waiters wake, so an error is delivered to everyone who joined the
+// attempt but never poisons the cache — the next request compiles afresh.
+type binaryCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*list.Element
+	order *list.List // front = most recently used, of *binEntry
+}
+
+func newBinaryCache(capacity int) *binaryCache {
+	return &binaryCache{cap: capacity, m: map[string]*list.Element{}, order: list.New()}
+}
+
+// get returns the binary for key, building it with build on a miss. hit
+// reports whether the result came from the cache (including joining an
+// in-flight build).
+func (c *binaryCache) get(key string, build func() (*isa.Program, error)) (prog *isa.Program, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*binEntry)
+		c.mu.Unlock()
+		<-e.ready
+		return e.prog, true, e.err
+	}
+	e := &binEntry{key: key, ready: make(chan struct{})}
+	el := c.order.PushFront(e)
+	c.m[key] = el
+	// Evict least-recently-used completed entries; in-flight builds are
+	// skipped (their waiters hold the entry anyway), so the cache may
+	// briefly exceed cap under heavy concurrency.
+	for back := c.order.Back(); c.order.Len() > c.cap && back != nil; {
+		prev := back.Prev()
+		if be := back.Value.(*binEntry); be.done {
+			delete(c.m, be.key)
+			c.order.Remove(back)
+		}
+		back = prev
+	}
+	c.mu.Unlock()
+
+	prog, err = build()
+	c.mu.Lock()
+	e.prog, e.err = prog, err
+	e.done = true
+	if err != nil {
+		// Never cache failures: waiters already holding e still see err,
+		// but the next caller starts a fresh build.
+		if cur, ok := c.m[key]; ok && cur == el {
+			delete(c.m, key)
+			c.order.Remove(el)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return prog, false, err
+}
+
+// len reports the number of cached (or in-flight) binaries.
+func (c *binaryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// compileCached resolves a job's binary through the farm's binary cache,
+// wrapping failures as CompileError for Classify.
+func (f *Farm) compileCached(w workloads.Workload, p doe.Point) (*isa.Program, sim.Config, error) {
+	cfg := doe.ToConfig(p)
+	prog, hit, err := f.bins.get(BinaryKey(w, p), func() (*isa.Program, error) {
+		prog, cerr := f.compile(w, p, cfg)
+		if cerr != nil {
+			return nil, &CompileError{Workload: w.Key(), Err: cerr}
+		}
+		return prog, nil
+	})
+	f.bump(func(s *counters) {
+		if hit {
+			s.compileHits++
+		} else {
+			s.compileMisses++
+		}
+	})
+	return prog, cfg, err
+}
+
+// cachedExecutor is the farm's default MeasureFunc: Executor with the
+// compile stage served by the shared binary cache.
+func (f *Farm) cachedExecutor(ctx context.Context, job Job) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	prog, cfg, err := f.compileCached(job.Workload, job.Point)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	st, err := sim.Simulate(prog, cfg, f.maxInstrs)
+	if err != nil {
+		return Result{}, &SimError{Workload: job.Workload.Key(), Budget: sim.IsBudget(err), Err: err}
+	}
+	return Result{
+		Cycles:       float64(st.Cycles),
+		Energy:       st.Energy,
+		Instructions: st.Instructions,
+	}, nil
+}
+
+// group is the batch-planner output one worker executes: tasks that share a
+// binary. The first task carries the group through the queue; the others
+// wait on their done channels like any coalesced caller.
+type group struct {
+	w     workloads.Workload
+	tasks []*task
+}
+
+// DoJobs runs a batch of jobs through the cache, single-flight and
+// worker-pool layers, returning one result and one error per job in input
+// order. Unlike per-job Do calls it sees the whole batch at once, so jobs
+// that compile to the same binary are planned into one group: the worker
+// compiles once (through the binary cache) and runs one shared functional
+// interpretation feeding a timing consumer per point (sim.SimulateMany),
+// bit-for-bit identical to independent simulations. Grouping only applies
+// with the default executor — a custom Measure owns the whole pipeline, so
+// its batches degrade to per-job execution.
+func (f *Farm) DoJobs(ctx context.Context, jobs []Job) ([]Result, []error) {
+	res := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	tasks := make([]*task, len(jobs))
+	pending := make([]int, 0, len(jobs)) // indices not served by the store
+
+	for i, job := range jobs {
+		key := Key(job.Workload, job.Point)
+		if c, e, ok := f.store.Get2(key, EnergyKey(key)); ok {
+			f.bump(func(s *counters) { s.hits++ })
+			res[i] = Result{Cycles: c, Energy: e}
+			continue
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return res, errs
+	}
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		for _, i := range pending {
+			errs[i] = errFarmClosed
+		}
+		return res, errs
+	}
+	var fresh []*task // newly created tasks, first-seen order
+	for _, i := range pending {
+		job := jobs[i]
+		key := Key(job.Workload, job.Point)
+		if t, ok := f.inflight[key]; ok {
+			f.bump(func(s *counters) { s.coalesced++ })
+			tasks[i] = t
+			continue
+		}
+		t := &task{job: job, key: key, ctx: ctx, done: make(chan struct{})}
+		f.inflight[key] = t
+		tasks[i] = t
+		fresh = append(fresh, t)
+		f.bump(func(s *counters) { s.misses++ })
+	}
+	if f.grouping {
+		byBin := map[string][]*task{}
+		var order []string
+		for _, t := range fresh {
+			bk := BinaryKey(t.job.Workload, t.job.Point)
+			if _, ok := byBin[bk]; !ok {
+				order = append(order, bk)
+			}
+			byBin[bk] = append(byBin[bk], t)
+		}
+		for _, bk := range order {
+			ts := byBin[bk]
+			if len(ts) > 1 {
+				ts[0].group = &group{w: ts[0].job.Workload, tasks: ts}
+			}
+			f.queue = append(f.queue, ts[0]) // group members ride the leader
+			f.cond.Signal()
+		}
+	} else {
+		f.queue = append(f.queue, fresh...)
+		for range fresh {
+			f.cond.Signal()
+		}
+	}
+	f.mu.Unlock()
+
+	for _, i := range pending {
+		t := tasks[i]
+		select {
+		case <-t.done:
+			res[i], errs[i] = t.res, t.err
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+		}
+	}
+	return res, errs
+}
+
+// runGroup executes one shared-binary group: compile once, interpret once,
+// one timing consumer per point. Errors fan out to every member — a group
+// failure is classified exactly like the per-job path (compile failures
+// permanent, budget overruns ClassBudget), and the group path performs no
+// transient retries because neither compile nor simulation can fail
+// transiently (store IO retries live in persist).
+func (f *Farm) runGroup(lead *task) {
+	g := lead.group
+	tasks := g.tasks
+	results := make([]Result, len(tasks))
+	errs := make([]error, len(tasks))
+	fail := func(err error) {
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+
+	if cerr := lead.ctx.Err(); cerr != nil {
+		fail(cerr)
+	} else if prog, _, err := f.compileCached(g.w, lead.job.Point); err != nil {
+		fail(err)
+	} else {
+		cfgs := make([]sim.Config, len(tasks))
+		for i, t := range tasks {
+			cfgs[i] = doe.ToConfig(t.job.Point)
+		}
+		stats, serr := sim.SimulateManyOpt(prog, cfgs, f.maxInstrs, sim.BatchOptions{MaxConsumers: f.maxConsumers})
+		if serr != nil {
+			fail(&SimError{Workload: g.w.Key(), Budget: sim.IsBudget(serr), Err: serr})
+		} else {
+			for i, st := range stats {
+				results[i] = Result{
+					Cycles:       float64(st.Cycles),
+					Energy:       st.Energy,
+					Instructions: st.Instructions,
+				}
+			}
+		}
+	}
+
+	// One critical section for the whole group: a Stats snapshot always
+	// sees the group's sims, instrs and shared-trace count move together.
+	var okCount, failCount, budgetCount, instrSum int64
+	for i := range tasks {
+		if errs[i] == nil {
+			okCount++
+			instrSum += results[i].Instructions
+		} else {
+			failCount++
+			if Classify(errs[i]) == ClassBudget {
+				budgetCount++
+			}
+		}
+	}
+	f.bump(func(s *counters) {
+		s.groups++
+		s.sims += okCount
+		s.instrs += instrSum
+		s.traceShared += okCount
+		s.fails += failCount
+		s.budgetOverruns += budgetCount
+	})
+	if errs[0] != nil {
+		switch Classify(errs[0]) {
+		case ClassBudget:
+			f.logf("farm: %s: %v", g.w.Key(), errs[0])
+		case ClassPermanent:
+			f.logf("farm: %s: permanent failure (group of %d): %v", g.w.Key(), len(tasks), errs[0])
+		}
+	}
+	for i, t := range tasks {
+		if errs[i] == nil {
+			if perr := f.persist(t.key, results[i]); perr != nil {
+				f.logf("farm: store append for %s failed: %v", t.key, perr)
+			}
+		}
+	}
+	f.mu.Lock()
+	for _, t := range tasks {
+		delete(f.inflight, t.key)
+	}
+	f.mu.Unlock()
+	for i, t := range tasks {
+		t.res, t.err = results[i], errs[i]
+		close(t.done)
+	}
+}

@@ -48,6 +48,12 @@ type Options struct {
 	// RetryDelay is the base backoff between transient retries, growing
 	// linearly with the attempt (0 = 10ms).
 	RetryDelay time.Duration
+	// BinaryCacheSize bounds the compiled-binary cache used by the default
+	// executor and the batch planner (0 = 256 binaries).
+	BinaryCacheSize int
+	// MaxConsumers caps the timing consumers sharing one functional
+	// interpretation in a batch group (0 = sim's default of 16).
+	MaxConsumers int
 	// Log receives progress and recovery lines; nil silences them.
 	Log io.Writer
 }
@@ -61,6 +67,15 @@ type Farm struct {
 	delay   time.Duration
 	measure MeasureFunc
 	store   *Store
+
+	// Batch machinery: binary cache, compile hook (swappable in tests) and
+	// the grouping switch, enabled only with the default executor — a custom
+	// Measure owns the whole pipeline, so the planner can't split it.
+	bins         *binaryCache
+	compile      compileFn
+	grouping     bool
+	maxInstrs    int64
+	maxConsumers int
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -84,6 +99,8 @@ type counters struct {
 	hits, misses, coalesced        int64
 	sims, instrs                   int64
 	retried, budgetOverruns, fails int64
+	compileHits, compileMisses     int64
+	traceShared, groups            int64
 	workerBusyNanos                []int64
 	workerJobs                     []int64
 }
@@ -99,7 +116,13 @@ type task struct {
 	done chan struct{}
 	res  Result
 	err  error
+	// group, when non-nil, marks this task as the leader of a shared-binary
+	// batch group; the worker executes the whole group in one pass.
+	group *group
 }
+
+// errFarmClosed rejects work submitted after Close.
+var errFarmClosed = errors.New("farm: closed")
 
 // New starts a farm with opts.Workers workers. The pool runs until Close.
 func New(opts Options) *Farm {
@@ -125,8 +148,20 @@ func New(opts Options) *Farm {
 	if f.delay == 0 {
 		f.delay = 10 * time.Millisecond
 	}
+	f.maxInstrs = opts.MaxInstrs
+	if f.maxInstrs == 0 {
+		f.maxInstrs = 500_000_000
+	}
+	f.maxConsumers = opts.MaxConsumers
+	cacheSize := opts.BinaryCacheSize
+	if cacheSize <= 0 {
+		cacheSize = 256
+	}
+	f.bins = newBinaryCache(cacheSize)
+	f.compile = defaultCompile
 	if f.measure == nil {
-		f.measure = Executor(opts.MaxInstrs)
+		f.measure = f.cachedExecutor
+		f.grouping = true
 	}
 	if f.store == nil {
 		f.store = MemStore()
@@ -180,7 +215,7 @@ func (f *Farm) Do(ctx context.Context, job Job) (Result, error) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
-		return Result{}, errors.New("farm: closed")
+		return Result{}, errFarmClosed
 	}
 	t, shared := f.inflight[key]
 	if shared {
@@ -202,25 +237,25 @@ func (f *Farm) Do(ctx context.Context, job Job) (Result, error) {
 }
 
 // MeasureBatch measures w at every point, saturating the worker pool, and
-// returns the responses in input order. On failure it returns the error of
-// the earliest failing point (by input index), matching the serial path's
-// error selection so parallel and serial runs are indistinguishable.
+// returns the responses in input order. The batch goes through DoJobs, so
+// points sharing a binary are planned into shared-trace groups. On failure
+// it returns the error of the earliest failing point (by input index),
+// matching the serial path's error selection so parallel and serial runs
+// are indistinguishable.
 func (f *Farm) MeasureBatch(ctx context.Context, w workloads.Workload, points []doe.Point, resp Response) ([]float64, error) {
-	out := make([]float64, len(points))
-	errs := make([]error, len(points))
-	var wg sync.WaitGroup
+	jobs := make([]Job, len(points))
 	for i, p := range points {
-		wg.Add(1)
-		go func(i int, p doe.Point) {
-			defer wg.Done()
-			out[i], errs[i] = f.Measure(ctx, w, p, resp)
-		}(i, p)
+		jobs[i] = Job{Workload: w, Point: p}
 	}
-	wg.Wait()
+	res, errs := f.DoJobs(ctx, jobs)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	out := make([]float64, len(points))
+	for i := range res {
+		out[i] = resp.Value(res[i])
 	}
 	return out, nil
 }
@@ -251,7 +286,12 @@ func (f *Farm) worker(id int) {
 }
 
 // run executes one task with the retry policy and publishes the result.
+// Group leaders execute the whole shared-binary group instead.
 func (f *Farm) run(t *task) {
+	if t.group != nil {
+		f.runGroup(t)
+		return
+	}
 	res, err := f.attempt(t)
 	if err == nil {
 		// One critical section for the pair: a Stats snapshot always sees
@@ -360,8 +400,14 @@ type Stats struct {
 	Retries         int64
 	BudgetOverruns  int64
 	Failures        int64
-	WallTime        time.Duration
-	PerWorker       []WorkerStats
+	// Batch-sharing counters: binary-cache traffic, simulations served by
+	// the shared-trace path, and shared-binary groups executed.
+	CompileCacheHits   int64
+	CompileCacheMisses int64
+	TraceSharedSims    int64
+	BinaryGroups       int64
+	WallTime           time.Duration
+	PerWorker          []WorkerStats
 }
 
 // Utilization is the mean fraction of wall time the workers spent executing
@@ -402,6 +448,11 @@ func (f *Farm) Stats() Stats {
 		Retries:         f.st.retried,
 		BudgetOverruns:  f.st.budgetOverruns,
 		Failures:        f.st.fails,
+
+		CompileCacheHits:   f.st.compileHits,
+		CompileCacheMisses: f.st.compileMisses,
+		TraceSharedSims:    f.st.traceShared,
+		BinaryGroups:       f.st.groups,
 	}
 	st.PerWorker = make([]WorkerStats, f.workers)
 	for i := range st.PerWorker {

@@ -2,10 +2,8 @@ package farm
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"hash/fnv"
-	"strings"
 
 	"repro/internal/compiler"
 	"repro/internal/doe"
@@ -95,9 +93,10 @@ func Executor(maxInstrs int64) MeasureFunc {
 		}
 		st, err := sim.Simulate(prog, cfg, maxInstrs)
 		if err != nil {
-			var fault *sim.ErrFault
-			budget := errors.As(err, &fault) && strings.Contains(fault.Msg, "budget")
-			return Result{}, &SimError{Workload: job.Workload.Key(), Budget: budget, Err: err}
+			// Classify on the typed Budget flag, never on the message text:
+			// a rewording of the fault message must not silently turn a
+			// budget overrun into a permanent failure.
+			return Result{}, &SimError{Workload: job.Workload.Key(), Budget: sim.IsBudget(err), Err: err}
 		}
 		return Result{
 			Cycles:       float64(st.Cycles),

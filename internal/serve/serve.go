@@ -602,6 +602,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("instrs_total", st.InstrsSimulated)
 		emit("retries_total", st.Retries)
 		emit("failures_total", st.Failures)
+		emit("compile_cache_hits_total", st.CompileCacheHits)
+		emit("compile_cache_misses_total", st.CompileCacheMisses)
+		emit("trace_shared_sims_total", st.TraceSharedSims)
+		emit("binary_groups_total", st.BinaryGroups)
 	}
 }
 

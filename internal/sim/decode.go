@@ -42,7 +42,7 @@ const (
 // provably a no-op.
 func decodeInstr(in *isa.Instr, pc int32) instrMeta {
 	if in.Rd >= isa.NumRegs || in.Rs1 >= isa.NumRegs || in.Rs2 >= isa.NumRegs {
-		panic(&ErrFault{pc, "register field out of range"})
+		panic(&ErrFault{PC: pc, Msg: "register field out of range"})
 	}
 	m := instrMeta{
 		pcByte: isa.PCByte(pc),

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/isa"
@@ -132,14 +133,28 @@ func NewExecutor(p *isa.Program) *Executor {
 }
 
 // ErrFault is returned for invalid memory or control transfers, which
-// indicate a compiler bug rather than a program property.
+// indicate a compiler bug rather than a program property. Budget marks the
+// one benign variant — the instruction budget ran out — so callers classify
+// on the flag, never on the message text.
 type ErrFault struct {
-	PC  int32
-	Msg string
+	PC     int32
+	Msg    string
+	Budget bool
 }
 
 func (e *ErrFault) Error() string {
 	return fmt.Sprintf("sim: fault at pc %d: %s", e.PC, e.Msg)
+}
+
+// IsBudget reports whether err is (or wraps) a budget-overrun fault.
+func IsBudget(err error) bool {
+	var f *ErrFault
+	return errors.As(err, &f) && f.Budget
+}
+
+// budgetFault builds the canonical budget-overrun fault.
+func budgetFault(pc int32, maxInstrs int64) *ErrFault {
+	return &ErrFault{PC: pc, Msg: fmt.Sprintf("instruction budget %d exceeded", maxInstrs), Budget: true}
 }
 
 const minValidAddr = 4096
@@ -151,7 +166,7 @@ func (e *Executor) Step() (entry TraceEntry, ok bool, err error) {
 		return TraceEntry{}, false, nil
 	}
 	if uint32(e.PC) >= uint32(len(e.instrs)) { // also catches negative PCs
-		return TraceEntry{}, false, &ErrFault{e.PC, "pc out of range"}
+		return TraceEntry{}, false, &ErrFault{PC: e.PC, Msg: "pc out of range"}
 	}
 	in := &e.instrs[e.PC]
 	entry = TraceEntry{PC: e.PC, NextPC: e.PC + 1}
@@ -202,14 +217,14 @@ func (e *Executor) Step() (entry TraceEntry, ok bool, err error) {
 	case isa.OpLoad:
 		addr := uint64(r[in.Rs1] + in.Imm)
 		if addr < minValidAddr {
-			return TraceEntry{}, false, &ErrFault{e.PC, fmt.Sprintf("load from %#x", addr)}
+			return TraceEntry{}, false, &ErrFault{PC: e.PC, Msg: fmt.Sprintf("load from %#x", addr)}
 		}
 		entry.Addr = addr
 		r[in.Rd] = e.Mem.Load(addr)
 	case isa.OpStore:
 		addr := uint64(r[in.Rs1] + in.Imm)
 		if addr < minValidAddr {
-			return TraceEntry{}, false, &ErrFault{e.PC, fmt.Sprintf("store to %#x", addr)}
+			return TraceEntry{}, false, &ErrFault{PC: e.PC, Msg: fmt.Sprintf("store to %#x", addr)}
 		}
 		entry.Addr = addr
 		e.Mem.Store(addr, r[in.Rs2])
@@ -247,7 +262,7 @@ func (e *Executor) Step() (entry TraceEntry, ok bool, err error) {
 		e.Halted = true
 		entry.NextPC = e.PC
 	default:
-		return TraceEntry{}, false, &ErrFault{e.PC, fmt.Sprintf("unknown opcode %d", in.Op)}
+		return TraceEntry{}, false, &ErrFault{PC: e.PC, Msg: fmt.Sprintf("unknown opcode %d", in.Op)}
 	}
 	r[isa.RegZero] = 0 // r0 stays hardwired even if targeted
 	e.PC = entry.NextPC
@@ -267,7 +282,7 @@ func b2i(b bool) int64 {
 func (e *Executor) Run(maxInstrs int64) (int64, int64, error) {
 	for !e.Halted {
 		if e.Count >= maxInstrs {
-			return e.Count, 0, &ErrFault{e.PC, fmt.Sprintf("instruction budget %d exceeded", maxInstrs)}
+			return e.Count, 0, budgetFault(e.PC, maxInstrs)
 		}
 		if _, _, err := e.Step(); err != nil {
 			return e.Count, 0, err

@@ -88,11 +88,11 @@ func runFused(exe *Executor, cpu *CPU, maxInstrs int64) error {
 loop:
 	for !halted {
 		if count >= maxInstrs {
-			err = &ErrFault{pc, fmt.Sprintf("instruction budget %d exceeded", maxInstrs)}
+			err = budgetFault(pc, maxInstrs)
 			break
 		}
 		if uint32(pc) >= uint32(len(meta)) { // also catches negative PCs
-			err = &ErrFault{pc, "pc out of range"}
+			err = &ErrFault{PC: pc, Msg: "pc out of range"}
 			break
 		}
 		m := &meta[pc]
@@ -146,7 +146,7 @@ loop:
 		case isa.OpLoad:
 			addr = uint64(r[m.rs1&regIdxMask] + m.imm)
 			if addr < minValidAddr {
-				err = &ErrFault{pc, fmt.Sprintf("load from %#x", addr)}
+				err = &ErrFault{PC: pc, Msg: fmt.Sprintf("load from %#x", addr)}
 				break loop
 			}
 			w := addr >> 3
@@ -159,7 +159,7 @@ loop:
 		case isa.OpStore:
 			addr = uint64(r[m.rs1&regIdxMask] + m.imm)
 			if addr < minValidAddr {
-				err = &ErrFault{pc, fmt.Sprintf("store to %#x", addr)}
+				err = &ErrFault{PC: pc, Msg: fmt.Sprintf("store to %#x", addr)}
 				break loop
 			}
 			w := addr >> 3
@@ -203,7 +203,7 @@ loop:
 			exe.Halted = true
 			nextPC = pc
 		default:
-			err = &ErrFault{pc, fmt.Sprintf("unknown opcode %d", m.op)}
+			err = &ErrFault{PC: pc, Msg: fmt.Sprintf("unknown opcode %d", m.op)}
 			break loop
 		}
 		r[isa.RegZero] = 0 // r0 stays hardwired even if targeted

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/isa"
+)
+
+// defaultMaxConsumers bounds how many timing consumers share one broadcast
+// pass. Each consumer owns a full CPU (caches, predictor, rings); past a
+// point more consumers per pass costs cache footprint without saving
+// functional work, so very large batches run in rounds.
+const defaultMaxConsumers = 16
+
+// BatchOptions tunes SimulateManyOpt.
+type BatchOptions struct {
+	// MaxConsumers caps the timing consumers attached to one broadcast
+	// pass; larger batches run in ceil(len(cfgs)/MaxConsumers) functional
+	// passes. 0 means 16.
+	MaxConsumers int
+}
+
+// SimulateMany runs prog to completion under each configuration, sharing
+// one functional interpretation across all of them: the committed trace is
+// broadcast in chunks to one timing consumer per config, each owning its
+// own caches, branch predictor and energy accumulators. Results are
+// bit-for-bit identical to len(cfgs) independent Simulate calls — the
+// functional stream does not depend on the configuration — at roughly
+// 1/len(cfgs) of the interpretation cost.
+func SimulateMany(prog *isa.Program, cfgs []Config, maxInstrs int64) ([]Stats, error) {
+	return SimulateManyOpt(prog, cfgs, maxInstrs, BatchOptions{})
+}
+
+// SimulateManyOpt is SimulateMany with explicit batch options.
+func SimulateManyOpt(prog *isa.Program, cfgs []Config, maxInstrs int64, opt BatchOptions) ([]Stats, error) {
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	maxConsumers := opt.MaxConsumers
+	if maxConsumers <= 0 {
+		maxConsumers = defaultMaxConsumers
+	}
+	out := make([]Stats, len(cfgs))
+	for lo := 0; lo < len(cfgs); lo += maxConsumers {
+		hi := lo + maxConsumers
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		if hi-lo == 1 {
+			st, err := Simulate(prog, cfgs[lo], maxInstrs)
+			if err != nil {
+				return nil, err
+			}
+			out[lo] = st
+			continue
+		}
+		if err := simulateRound(prog, cfgs[lo:hi], maxInstrs, out[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// simulateRound runs one broadcast pass: a single functional interpretation
+// of prog feeding len(cfgs) timing consumers.
+func simulateRound(prog *isa.Program, cfgs []Config, maxInstrs int64, out []Stats) error {
+	exe := NewExecutor(prog)
+	dec := exe.Decoded()
+	cpus := make([]*CPU, len(cfgs))
+	for k := range cpus {
+		cpus[k] = NewCPU(cfgs[k])
+	}
+
+	b := NewTraceBroadcaster(len(cfgs))
+	var wg sync.WaitGroup
+	for k := range cpus {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			cpu := cpus[k]
+			for ck := range b.Out(k) {
+				cpu.feedChunkFused(dec, ck.Ents[:ck.N])
+				b.Release(ck)
+			}
+		}(k)
+	}
+	err := b.Broadcast(exe, maxInstrs)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	exit := exe.Regs[isa.RegRV]
+	for k, cpu := range cpus {
+		st := cpu.Stats()
+		st.ExitValue = exit
+		out[k] = st
+	}
+	return nil
+}

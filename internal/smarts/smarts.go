@@ -11,7 +11,6 @@ import (
 	"errors"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/isa"
 	"repro/internal/sim"
@@ -237,29 +236,13 @@ func Run(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64) (*Result
 	return res, nil
 }
 
-// traceChunkSize is the number of committed instructions per broadcast
-// chunk in RunParallel. 4096 entries keep channel operations three orders
-// of magnitude rarer than instructions while bounding buffering to a few
-// hundred KiB.
-const traceChunkSize = 4096
-
-// traceChunks is the size of the chunk pool, which bounds how far the
-// functional producer may run ahead of the slowest timing worker.
-const traceChunks = 8
-
-type traceChunk struct {
-	n    int
-	refs atomic.Int32
-	ents [traceChunkSize]sim.TraceEntry
-}
-
 // RunParallel draws `workers` independent sample sets concurrently — each
 // with a distinct window offset, the mechanism SMARTS prescribes for
 // independent draws — and pools their windows into one estimate. The pooled
 // mean CPI has ~workers× the sample count of a single Run, tightening the
 // confidence interval.
 //
-// The program is executed functionally exactly once: a producer goroutine
+// The program is executed functionally exactly once: a sim.TraceBroadcaster
 // interprets it and broadcasts the committed-instruction trace in reference
 // counted chunks to one timing worker per offset, each owning its own
 // caches and branch predictor. Workers apply backpressure through the
@@ -293,68 +276,29 @@ func RunParallel(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64, 
 		states[k] = newSampleState(sk, cfg, dec)
 	}
 
-	free := make(chan *traceChunk, traceChunks)
-	for i := 0; i < traceChunks; i++ {
-		free <- new(traceChunk)
-	}
-	outs := make([]chan *traceChunk, workers)
-	for k := range outs {
-		outs[k] = make(chan *traceChunk, traceChunks)
-	}
-
+	b := sim.NewTraceBroadcaster(workers)
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
 			state := states[k]
-			for ck := range outs[k] {
-				for i := 0; i < ck.n; i++ {
-					state.feed(ck.ents[i])
+			for ck := range b.Out(k) {
+				for i := 0; i < ck.N; i++ {
+					state.feed(ck.Ents[i])
 				}
-				if ck.refs.Add(-1) == 0 {
-					free <- ck // pool cap covers every chunk: never blocks
-				}
+				b.Release(ck)
 			}
 		}(k)
 	}
 
 	// Producer: the single functional pass.
-	var prodErr error
-producer:
-	for !exe.Halted {
-		ck := <-free
-		ck.n = 0
-		for ck.n < traceChunkSize && !exe.Halted {
-			if exe.Count >= maxInstrs {
-				prodErr = errors.New("smarts: instruction budget exceeded")
-				break
-			}
-			entry, ok, err := exe.Step()
-			if err != nil {
-				prodErr = err
-				break
-			}
-			if !ok {
-				break
-			}
-			ck.ents[ck.n] = entry
-			ck.n++
-		}
-		if ck.n == 0 || prodErr != nil {
-			free <- ck
-			break producer
-		}
-		ck.refs.Store(int32(workers))
-		for k := range outs {
-			outs[k] <- ck
-		}
-	}
-	for k := range outs {
-		close(outs[k])
-	}
+	prodErr := b.Broadcast(exe, maxInstrs)
 	wg.Wait()
 	if prodErr != nil {
+		if sim.IsBudget(prodErr) {
+			return nil, errors.New("smarts: instruction budget exceeded")
+		}
 		return nil, prodErr
 	}
 

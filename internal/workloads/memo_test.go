@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/lang"
+)
+
+// TestParseMemoized pins the per-process parse cache: two compiles of the
+// same workload must share one AST, so the second Parse is pointer-equal to
+// the first — no re-parse.
+func TestParseMemoized(t *testing.T) {
+	w := MustGet("179.art", Train)
+	first := w.Parse()
+	if again := w.Parse(); again != first {
+		t.Fatal("second Parse returned a fresh AST: parse is not memoized")
+	}
+	// A second Get of the same workload carries the same source string and
+	// must hit the same cache entry.
+	if other := MustGet("179.art", Train).Parse(); other != first {
+		t.Fatal("Parse of an equal workload missed the cache")
+	}
+	if ref := MustGet("179.art", Ref).Parse(); ref == first {
+		t.Fatal("distinct sources share an AST")
+	}
+}
+
+// TestParseSharedASTImmutable guards the invariant the cache rests on: the
+// compiler treats its input program as read-only (lowering builds a fresh
+// IR program), so aggressive compiles of the shared AST leave it deep-equal
+// to a fresh parse of the same source.
+func TestParseSharedASTImmutable(t *testing.T) {
+	w := MustGet("164.gzip", Train)
+	shared := w.Parse()
+	snapshot := lang.MustParse(w.Source) // private copy, never compiled
+
+	for _, opts := range []compiler.Options{compiler.O2(), compiler.O3()} {
+		if _, _, err := compiler.Compile(shared, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(shared, snapshot) {
+		t.Fatal("compiling the shared AST mutated it")
+	}
+}

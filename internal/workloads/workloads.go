@@ -13,6 +13,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/lang"
 )
@@ -39,9 +40,22 @@ type Workload struct {
 // Key returns "name-input", e.g. "179.art-train".
 func (w Workload) Key() string { return w.Name + "-" + w.Input }
 
-// Parse returns the checked AST of the workload source. It panics on error:
-// workload sources are compiled into the binary and covered by tests.
-func (w Workload) Parse() *lang.Program { return lang.MustParse(w.Source) }
+// parseCache memoizes Parse by source text: parse cost is paid once per
+// process per distinct source, and every caller shares one AST. Safe because
+// the compiler treats its input as read-only (lowering builds a fresh IR
+// program) — TestParseSharedASTImmutable pins that invariant.
+var parseCache sync.Map // source string -> *lang.Program
+
+// Parse returns the checked AST of the workload source, memoized per
+// distinct source text. It panics on error: workload sources are compiled
+// into the binary and covered by tests. Callers must not mutate the result.
+func (w Workload) Parse() *lang.Program {
+	if p, ok := parseCache.Load(w.Source); ok {
+		return p.(*lang.Program)
+	}
+	p, _ := parseCache.LoadOrStore(w.Source, lang.MustParse(w.Source))
+	return p.(*lang.Program)
+}
 
 // Names lists the seven benchmarks in the paper's order.
 func Names() []string {
