@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/dist"
 	"repro/internal/doe"
 	"repro/internal/exp"
 	"repro/internal/farm"
@@ -641,6 +643,98 @@ func BenchmarkSMARTSParallel(b *testing.B) {
 		par = time.Since(start)
 	}
 	b.ReportMetric(seq.Seconds()/par.Seconds(), "vs-single-run-x")
+}
+
+// distSweepPoints builds the distributed benchmark batch: nFlags distinct
+// compiler vectors crossed with perFlag microarchitecture variants, so the
+// coordinator plans it into exactly nFlags shared-binary groups.
+func distSweepPoints(nFlags, perFlag int) []doe.Point {
+	var pts []doe.Point
+	for f := 0; f < nFlags; f++ {
+		opts := compiler.O2()
+		if f&1 != 0 {
+			opts.InlineFunctions = true
+		}
+		if f&2 != 0 {
+			opts.UnrollLoops = true
+			opts.MaxUnrollTimes = 4
+		}
+		if f&4 != 0 {
+			opts.OmitFramePointer = false
+		}
+		for m := 0; m < perFlag; m++ {
+			cfg := sim.DefaultConfig()
+			cfg.MemLat = 60 + 30*m
+			pts = append(pts, doe.JoinPoint(doe.FromOptions(opts), doe.FromConfig(cfg)))
+		}
+	}
+	return pts
+}
+
+// BenchmarkDistributedSweep runs one Table-7-shaped sweep through a
+// coordinator over one worker and then over two, and reports the wall-clock
+// ratio — the distributed plane's headline number, gated by `benchcheck -set
+// dist`. Each worker is a fixed-service-time measurement service (a stub
+// executor with a deterministic per-point latency and a single-slot farm), so
+// the ratio measures what the coordinator actually adds — overlapping whole
+// groups across worker processes — and holds on any core count; two real
+// simulator processes on one localhost would just contend for the same cores
+// and say nothing about the scheduler.
+func BenchmarkDistributedSweep(b *testing.B) {
+	const (
+		nGroups  = 8
+		perGroup = 2
+		perPoint = 10 * time.Millisecond
+	)
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := distSweepPoints(nGroups, perGroup)
+	measure := func(ctx context.Context, job farm.Job) (farm.Result, error) {
+		select {
+		case <-time.After(perPoint):
+		case <-ctx.Done():
+			return farm.Result{}, ctx.Err()
+		}
+		return farm.Result{Cycles: 1, Energy: 1, Instructions: 1}, nil
+	}
+	run := func(nWorkers int) time.Duration {
+		var addrs []string
+		var workers []*dist.Worker
+		var servers []*httptest.Server
+		for i := 0; i < nWorkers; i++ {
+			wk := dist.NewWorker(dist.WorkerOptions{Workers: 1, Measure: measure, Heartbeat: 5 * time.Millisecond})
+			ts := httptest.NewServer(wk.Handler())
+			workers = append(workers, wk)
+			servers = append(servers, ts)
+			addrs = append(addrs, ts.URL)
+		}
+		co, err := dist.New(dist.Options{Addrs: addrs, HedgeMin: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := co.MeasureBatch(context.Background(), w, points, farm.Cycles); err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if st := co.Stats(); st.BinaryGroups != nGroups {
+			b.Fatalf("planned %d groups, want %d", st.BinaryGroups, nGroups)
+		}
+		co.Close()
+		for i := range servers {
+			servers[i].Close()
+			workers[i].Close()
+		}
+		return elapsed
+	}
+	var single, double time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		single += run(1)
+		double += run(2)
+	}
+	b.ReportMetric(double.Seconds()*1e3/float64(b.N), "two-worker-ms")
+	b.ReportMetric(single.Seconds()/double.Seconds(), "dist-speedup-x")
+	b.ReportMetric(float64(nGroups), "groups")
 }
 
 // batchWorkloadSource generates the shared-trace benchmark workload: many

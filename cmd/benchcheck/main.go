@@ -28,6 +28,16 @@
 //	go test -run '^$' -bench 'MeasureBatchShared$' -benchtime=1x . |
 //	    go run ./cmd/benchcheck -set farm -baseline BENCH_farm.json -out BENCH_farm.json
 //
+//	-set dist: the distributed measurement plane, gated on the
+//	    two-worker-vs-one-worker wall-clock ratio of a grouped sweep
+//	    through the coordinator (a hard floor: the workers are
+//	    fixed-service-time stubs, so the ratio measures scheduling
+//	    overlap and holds on any core count) plus the two-worker wall
+//	    clock.
+//
+//	go test -run '^$' -bench 'DistributedSweep$' -benchtime=1x . |
+//	    go run ./cmd/benchcheck -set dist -baseline BENCH_dist.json -out BENCH_dist.json
+//
 // Regenerate a baseline by committing the freshly written file.
 package main
 
@@ -78,13 +88,26 @@ type FarmNumbers struct {
 	Points float64 `json:"points"`
 }
 
+// DistNumbers is the schema of BENCH_dist.json.
+type DistNumbers struct {
+	// TwoWorkerMs is wall-clock milliseconds for the sweep through a
+	// coordinator over two workers, from BenchmarkDistributedSweep.
+	TwoWorkerMs float64 `json:"two_worker_ms"`
+	// DistSpeedupX is the one-worker/two-worker wall-clock ratio from the
+	// same benchmark.
+	DistSpeedupX float64 `json:"dist_speedup_x"`
+	// Groups is the number of shared-binary groups the sweep planned into.
+	Groups float64 `json:"groups"`
+}
+
 func main() {
-	set := flag.String("set", "sim", "benchmark set to parse and gate: sim|model|farm")
+	set := flag.String("set", "sim", "benchmark set to parse and gate: sim|model|farm|dist")
 	baselinePath := flag.String("baseline", "", "committed baseline to compare against (default BENCH_<set>.json; missing file skips the check)")
 	outPath := flag.String("out", "", "where to write the fresh numbers (default BENCH_<set>.json)")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated fractional regression")
 	minDOptSpeedup := flag.Float64("min-doptimal-speedup", 3, "hard floor on the model set's doptimal_speedup_x")
 	minSharedSpeedup := flag.Float64("min-shared-speedup", 2, "hard floor on the farm set's shared_speedup_x")
+	minDistSpeedup := flag.Float64("min-dist-speedup", 1.7, "hard floor on the dist set's dist_speedup_x")
 	flag.Parse()
 
 	def := "BENCH_" + *set + ".json"
@@ -106,8 +129,10 @@ func main() {
 		checkModel(lines, *baselinePath, *outPath, *maxRegress, *minDOptSpeedup)
 	case "farm":
 		checkFarm(lines, *baselinePath, *outPath, *maxRegress, *minSharedSpeedup)
+	case "dist":
+		checkDist(lines, *baselinePath, *outPath, *maxRegress, *minDistSpeedup)
 	default:
-		fatal(fmt.Errorf("benchcheck: unknown -set %q (sim|model|farm)", *set))
+		fatal(fmt.Errorf("benchcheck: unknown -set %q (sim|model|farm|dist)", *set))
 	}
 }
 
@@ -242,6 +267,41 @@ func checkFarm(lines []benchLine, baselinePath, outPath string, maxRegress, minS
 	fmt.Printf("benchcheck: grouped_ms %.2fx of baseline (%.0fms)\n", ratio, base.GroupedMs)
 	if ratio > 1+maxRegress {
 		fatal(fmt.Errorf("benchcheck: grouped_ms regressed %.0f%% (limit %.0f%%)",
+			100*(ratio-1), 100*maxRegress))
+	}
+}
+
+func checkDist(lines []benchLine, baselinePath, outPath string, maxRegress, minDistSpeedup float64) {
+	cur := &DistNumbers{}
+	var have bool
+	for _, l := range lines {
+		if strings.HasPrefix(l.name, "BenchmarkDistributedSweep") {
+			cur.TwoWorkerMs = l.metrics["two-worker-ms"]
+			cur.DistSpeedupX = l.metrics["dist-speedup-x"]
+			cur.Groups = l.metrics["groups"]
+			have = true
+		}
+	}
+	if !have {
+		fatal(fmt.Errorf("benchcheck: dist set needs BenchmarkDistributedSweep, not found in input"))
+	}
+
+	base := &DistNumbers{}
+	writeAndLoadBaseline(cur, base, baselinePath, outPath)
+	fmt.Printf("benchcheck: two-worker sweep %.0fms, %.2fx vs one worker (%d groups)\n",
+		cur.TwoWorkerMs, cur.DistSpeedupX, int(cur.Groups))
+	if cur.DistSpeedupX < minDistSpeedup {
+		fatal(fmt.Errorf("benchcheck: distributed speedup %.2fx below floor %.1fx",
+			cur.DistSpeedupX, minDistSpeedup))
+	}
+	if base.TwoWorkerMs <= 0 {
+		fmt.Println("benchcheck: no baseline, skipping regression check")
+		return
+	}
+	ratio := cur.TwoWorkerMs / base.TwoWorkerMs
+	fmt.Printf("benchcheck: two_worker_ms %.2fx of baseline (%.0fms)\n", ratio, base.TwoWorkerMs)
+	if ratio > 1+maxRegress {
+		fatal(fmt.Errorf("benchcheck: two_worker_ms regressed %.0f%% (limit %.0f%%)",
 			100*(ratio-1), 100*maxRegress))
 	}
 }

@@ -1,0 +1,93 @@
+// empirico-worker is one shard of the distributed measurement plane: a
+// stateless daemon that wraps a local measurement farm behind the
+// group-lease API, measuring whatever shared-binary groups a coordinator
+// (empiricod or empirico with -workers-addrs) leases to it.
+//
+// Usage:
+//
+//	empirico-worker -addr 127.0.0.1:9101 -workers 4
+//
+// Endpoints:
+//
+//	POST /v1/group   measure one shared-binary group, results streamed as
+//	                 ndjson (heartbeats while measuring, then one result
+//	                 line per point and a done line)
+//	GET  /healthz    liveness + local farm counters
+//
+// Workers hold no durable state — the coordinator owns the result store —
+// so killing a worker at any moment loses nothing: its in-flight leases
+// expire on the coordinator and requeue elsewhere.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9101", "listen address")
+		workers   = flag.Int("workers", 0, "local farm workers (0 = GOMAXPROCS)")
+		maxInstrs = flag.Int64("max-instrs", 0, "per-simulation instruction budget (0 = 500M; must match the coordinator's)")
+		heartbeat = flag.Duration("heartbeat", 0, "interval between heartbeat lines while measuring (0 = 500ms)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := dist.WorkerOptions{
+		Workers:   *workers,
+		MaxInstrs: *maxInstrs,
+		Heartbeat: *heartbeat,
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	w := dist.NewWorker(opts)
+	hs := &http.Server{Addr: *addr, Handler: w.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "empirico-worker: listening on %s\n", *addr)
+		}
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "empirico-worker: shutting down")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "empirico-worker: drain:", err)
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "empirico-worker:", err)
+	os.Exit(1)
+}

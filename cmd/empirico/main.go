@@ -23,8 +23,10 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/dist"
 	"repro/internal/doe"
 	"repro/internal/exp"
+	"repro/internal/farm"
 	"repro/internal/workloads"
 )
 
@@ -37,6 +39,7 @@ func main() {
 		cacheDir = flag.String("cache", "", "directory for the measurement cache")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 		workers  = flag.Int("workers", 0, "measurement farm + analytics workers (0 = GOMAXPROCS, 1 = serial; results identical)")
+		waddrs   = flag.String("workers-addrs", "", "comma-separated empirico-worker addresses; measurements shard across them instead of running in-process (results identical)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -51,6 +54,16 @@ func main() {
 	h.Workers = *workers
 	if !*quiet {
 		h.Log = os.Stderr
+	}
+	if *waddrs != "" {
+		addrs := strings.Split(*waddrs, ",")
+		h.MakeBackend = func(fo farm.Options) farm.Backend {
+			c, err := dist.New(dist.Options{Addrs: addrs, Store: fo.Store, Log: fo.Log})
+			if err != nil {
+				fatal(err)
+			}
+			return c
+		}
 	}
 	defer func() {
 		if st := h.FarmStats(); st.Workers > 0 && !*quiet {

@@ -27,9 +27,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
+	"repro/internal/farm"
 	"repro/internal/serve"
 )
 
@@ -45,7 +48,9 @@ func main() {
 		burst    = flag.Float64("burst", 0, "per-endpoint burst (0 = 100)")
 		inflight = flag.Int("max-inflight", 0, "concurrent requests before shedding (0 = 256)")
 		train    = flag.Int("train", 0, "override training-design size (0 = scale default; smoke tests)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for HTTP handlers")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain timeout for in-flight measurement leases")
+		waddrs   = flag.String("workers-addrs", "", "comma-separated empirico-worker addresses; measurements shard across them instead of running in-process")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -63,6 +68,19 @@ func main() {
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
+	}
+	if *waddrs != "" {
+		addrs := strings.Split(*waddrs, ",")
+		opts.MakeBackend = func(fo farm.Options) farm.Backend {
+			c, err := dist.New(dist.Options{Addrs: addrs, Store: fo.Store, Log: fo.Log})
+			if err != nil {
+				fatal(err)
+			}
+			return c
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "empiricod: sharding measurements across %d workers\n", len(addrs))
+		}
 	}
 	srv := serve.New(opts)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -84,7 +102,9 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Stop accepting, drain handlers, then checkpoint the farm stores.
+	// Stop accepting, drain handlers, let in-flight measurement leases
+	// finish (bounded; stragglers are cancelled and requeued so nothing is
+	// silently lost), then checkpoint the farm stores.
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, "empiricod: shutting down")
 	}
@@ -92,6 +112,11 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "empiricod: drain:", err)
+	}
+	drainCtx, dcancel := context.WithTimeout(context.Background(), *drainTO)
+	defer dcancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "empiricod: lease drain:", err)
 	}
 	if err := srv.Close(); err != nil {
 		fatal(err)

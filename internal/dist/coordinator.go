@@ -1,0 +1,508 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/doe"
+	"repro/internal/farm"
+	"repro/internal/workloads"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Addrs are the worker endpoints ("host:port" or full base URLs).
+	// At least one is required.
+	Addrs []string
+	// Store holds completed measurements; nil means a fresh in-memory
+	// store. The store is coordinator-owned — workers never persist.
+	Store *farm.Store
+	// MaxInFlight caps the groups leased to one worker at a time
+	// (backpressure; 0 = 2).
+	MaxInFlight int
+	// LeaseTimeout is the longest silence tolerated on a group's result
+	// stream before the lease expires and the group is requeued (0 = 15s).
+	// Workers heartbeat well under this.
+	LeaseTimeout time.Duration
+	// HedgeMin floors the straggler-hedging delay: a group is re-leased to
+	// a second worker once it runs past ~p95 of completed group latencies,
+	// but never sooner than this (0 = 2s; negative disables hedging).
+	HedgeMin time.Duration
+	// MaxAttempts bounds failed leases per group before the group's
+	// callers see the lease error (0 = 3).
+	MaxAttempts int
+	// Client performs the HTTP calls; nil means a dedicated client with
+	// no overall request timeout (the lease timeout bounds streams).
+	Client *http.Client
+	// Log receives dispatch and recovery lines; nil silences them.
+	Log io.Writer
+}
+
+// Coordinator is a farm.Backend that shards measurement batches across
+// remote workers. It plans batches into shared-binary groups exactly as the
+// in-process farm does, leases whole groups to workers, and merges the
+// streamed results into its own durable store — callers cannot tell it
+// apart from a local farm except by throughput.
+type Coordinator struct {
+	opts        Options
+	store       *farm.Store
+	client      *http.Client
+	lease       time.Duration
+	hedgeMin    time.Duration
+	maxAttempts int
+	cap         int
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	queue        []*dispatchReq
+	inflight     map[string]*ctask
+	workers      []*workerRef
+	leases       int // dispatches currently on the wire
+	leaseSeq     int64
+	leaseCancels map[int64]context.CancelFunc
+	draining     bool
+	closed       bool
+	schedDone    chan struct{}
+
+	// statMu guards the counters (always acquired after mu when both are
+	// held, mirroring the farm's locking order).
+	statMu sync.Mutex
+	st     coStats
+	start  time.Time
+}
+
+// coStats are the coordinator's instrumentation counters, all guarded by
+// statMu and updated in one critical section per logical event.
+type coStats struct {
+	hits, misses, coalesced      int64
+	sims, instrs, fails, budget  int64
+	groups, traceShared          int64
+	dispatched, hedged, requeued int64
+	workersLive                  int64
+	workerJobs                   []int64
+	workerBusyNanos              []int64
+	// latencies of recently completed group leases (seconds), the input
+	// to the p95 hedging threshold.
+	latencies []float64
+}
+
+// ctask is one in-flight point; all callers for the same key share it.
+type ctask struct {
+	job  farm.Job
+	key  string
+	done chan struct{}
+	res  farm.Result
+	err  error
+}
+
+// cgroup is one shared-binary group, the unit of dispatch. All fields
+// except the immutable ones are guarded by Coordinator.mu.
+type cgroup struct {
+	w     workloads.Workload
+	tasks []*ctask
+	// ctx is the first submitter's context: its cancellation fails the
+	// group (later joiners still bail on their own contexts while
+	// waiting), exactly like the farm's task ctx.
+	ctx context.Context
+
+	attempts   int // failed leases so far
+	leases     int // leases currently on the wire for this group
+	leaseSeqs  map[int64]struct{}
+	hedged     bool
+	done       bool
+	lastWorker int
+	finished   chan struct{} // closed when done flips true
+}
+
+// dispatchReq is one queue entry: lease this group (again) somewhere.
+type dispatchReq struct {
+	g     *cgroup
+	hedge bool
+}
+
+// workerRef is the coordinator's view of one worker process.
+type workerRef struct {
+	addr string
+	base string // normalized base URL
+	// guarded by Coordinator.mu:
+	inflight int
+	live     bool
+}
+
+var errClosed = errors.New("dist: coordinator closed")
+
+// New starts a coordinator over the given workers. It performs no network
+// IO — workers are contacted lazily on first dispatch, so a worker that is
+// still starting up costs a retry, not a construction failure.
+func New(opts Options) (*Coordinator, error) {
+	if len(opts.Addrs) == 0 {
+		return nil, errors.New("dist: no worker addresses")
+	}
+	c := &Coordinator{
+		opts:         opts,
+		store:        opts.Store,
+		client:       opts.Client,
+		lease:        opts.LeaseTimeout,
+		hedgeMin:     opts.HedgeMin,
+		maxAttempts:  opts.MaxAttempts,
+		cap:          opts.MaxInFlight,
+		inflight:     map[string]*ctask{},
+		leaseCancels: map[int64]context.CancelFunc{},
+		schedDone:    make(chan struct{}),
+		start:        time.Now(),
+	}
+	if c.store == nil {
+		c.store = farm.MemStore()
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	if c.lease <= 0 {
+		c.lease = 15 * time.Second
+	}
+	if c.hedgeMin == 0 {
+		c.hedgeMin = 2 * time.Second
+	}
+	if c.maxAttempts <= 0 {
+		c.maxAttempts = 3
+	}
+	if c.cap <= 0 {
+		c.cap = 2
+	}
+	for _, addr := range opts.Addrs {
+		c.workers = append(c.workers, &workerRef{addr: addr, base: baseURL(addr), live: true})
+	}
+	c.st.workersLive = int64(len(c.workers))
+	c.st.workerJobs = make([]int64, len(c.workers))
+	c.st.workerBusyNanos = make([]int64, len(c.workers))
+	c.cond = sync.NewCond(&c.mu)
+	go c.scheduler()
+	return c, nil
+}
+
+func baseURL(addr string) string {
+	if len(addr) >= 7 && (addr[:7] == "http://" || (len(addr) >= 8 && addr[:8] == "https://")) {
+		return addr
+	}
+	return "http://" + addr
+}
+
+func (c *Coordinator) bump(update func(*coStats)) {
+	c.statMu.Lock()
+	update(&c.st)
+	c.statMu.Unlock()
+}
+
+func (c *Coordinator) logf(format string, args ...interface{}) {
+	if c.opts.Log != nil {
+		fmt.Fprintf(c.opts.Log, format+"\n", args...)
+	}
+}
+
+// Store exposes the coordinator-owned result store.
+func (c *Coordinator) Store() *farm.Store { return c.store }
+
+// Checkpoint flushes the store to its durable checkpoint file.
+func (c *Coordinator) Checkpoint() error { return c.store.Checkpoint() }
+
+// Do runs one job through the cache, single-flight and dispatch layers.
+func (c *Coordinator) Do(ctx context.Context, job farm.Job) (farm.Result, error) {
+	res, errs := c.DoJobs(ctx, []farm.Job{job})
+	return res[0], errs[0]
+}
+
+// Measure returns the requested response of workload w at point p.
+func (c *Coordinator) Measure(ctx context.Context, w workloads.Workload, p doe.Point, resp farm.Response) (float64, error) {
+	res, err := c.Do(ctx, farm.Job{Workload: w, Point: p})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value(res), nil
+}
+
+// MeasureBatch measures w at every point and returns the responses in input
+// order, failing with the error of the earliest failing point — the same
+// error selection as the in-process farm, so the planes are
+// indistinguishable to callers.
+func (c *Coordinator) MeasureBatch(ctx context.Context, w workloads.Workload, points []doe.Point, resp farm.Response) ([]float64, error) {
+	jobs := make([]farm.Job, len(points))
+	for i, p := range points {
+		jobs[i] = farm.Job{Workload: w, Point: p}
+	}
+	res, errs := c.DoJobs(ctx, jobs)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]float64, len(points))
+	for i := range res {
+		out[i] = resp.Value(res[i])
+	}
+	return out, nil
+}
+
+// DoJobs plans a batch into shared-binary groups and dispatches them across
+// the workers, returning one result and one error per job in input order.
+// The grouping is byte-identical to farm.DoJobs' planner: jobs with equal
+// farm.BinaryKey form one group, and the whole group is leased to a single
+// worker so its points share one compile and one functional interpretation
+// there.
+func (c *Coordinator) DoJobs(ctx context.Context, jobs []farm.Job) ([]farm.Result, []error) {
+	res := make([]farm.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	tasks := make([]*ctask, len(jobs))
+	pending := make([]int, 0, len(jobs))
+
+	for i, job := range jobs {
+		key := farm.Key(job.Workload, job.Point)
+		if cyc, en, ok := c.store.Get2(key, farm.EnergyKey(key)); ok {
+			c.bump(func(s *coStats) { s.hits++ })
+			res[i] = farm.Result{Cycles: cyc, Energy: en}
+			continue
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return res, errs
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		for _, i := range pending {
+			errs[i] = errClosed
+		}
+		return res, errs
+	}
+	var fresh []*ctask
+	for _, i := range pending {
+		job := jobs[i]
+		key := farm.Key(job.Workload, job.Point)
+		if t, ok := c.inflight[key]; ok {
+			c.bump(func(s *coStats) { s.coalesced++ })
+			tasks[i] = t
+			continue
+		}
+		t := &ctask{job: job, key: key, done: make(chan struct{})}
+		c.inflight[key] = t
+		tasks[i] = t
+		fresh = append(fresh, t)
+		c.bump(func(s *coStats) { s.misses++ })
+	}
+	byBin := map[string][]*ctask{}
+	var order []string
+	for _, t := range fresh {
+		bk := farm.BinaryKey(t.job.Workload, t.job.Point)
+		if _, ok := byBin[bk]; !ok {
+			order = append(order, bk)
+		}
+		byBin[bk] = append(byBin[bk], t)
+	}
+	for _, bk := range order {
+		ts := byBin[bk]
+		g := &cgroup{
+			w: ts[0].job.Workload, tasks: ts, ctx: ctx,
+			lastWorker: -1, finished: make(chan struct{}),
+			leaseSeqs: map[int64]struct{}{},
+		}
+		c.queue = append(c.queue, &dispatchReq{g: g})
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+
+	for _, i := range pending {
+		t := tasks[i]
+		select {
+		case <-t.done:
+			res[i], errs[i] = t.res, t.err
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+		}
+	}
+	return res, errs
+}
+
+// Drain stops leasing new groups and waits for in-flight leases to finish,
+// bounded by ctx. Leases still running when ctx expires are cancelled and
+// their groups requeued (counted in GroupsRequeued); a subsequent Close
+// fails their waiters and checkpoints everything the finished leases
+// merged. Drain leaves the coordinator unable to start new leases — it is
+// the first half of shutdown, not a pause.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed || c.draining {
+		c.mu.Unlock()
+		return nil
+	}
+	c.draining = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+
+	drained := make(chan struct{})
+	go func() {
+		c.mu.Lock()
+		for c.leases > 0 {
+			c.cond.Wait()
+		}
+		c.mu.Unlock()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		n := len(c.leaseCancels)
+		for _, cancel := range c.leaseCancels {
+			cancel()
+		}
+		c.mu.Unlock()
+		c.logf("dist: drain timeout, cancelling %d leases", n)
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// Close stops the scheduler, cancels outstanding leases, fails queued
+// waiters and closes the store (flushing a final checkpoint when durable).
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for _, cancel := range c.leaseCancels {
+		cancel()
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	<-c.schedDone
+
+	// Leases unwind quickly once cancelled; wait so nothing touches the
+	// store after it closes.
+	c.mu.Lock()
+	for c.leases > 0 {
+		c.cond.Wait()
+	}
+	queued := c.queue
+	c.queue = nil
+	for _, req := range queued {
+		c.finishGroupLocked(req.g, nil, nil, errClosed)
+	}
+	c.mu.Unlock()
+	return c.store.Close()
+}
+
+// finishGroupLocked delivers the outcome of a group exactly once: the first
+// finisher (primary lease, hedge twin, or a shutdown path) wins and later
+// finishers see done and drop their copy — the single-flight dedup that
+// makes hedging safe. results/errs are per-task when non-nil; groupErr
+// applies to every task otherwise. Persisting happens here too, so a result
+// reaches the journal before any waiter observes it. Caller holds c.mu.
+func (c *Coordinator) finishGroupLocked(g *cgroup, results []farm.Result, errs []error, groupErr error) {
+	if g.done {
+		return
+	}
+	g.done = true
+	close(g.finished)
+	// Cancel the group's other outstanding leases (a losing hedge twin, a
+	// straggler at shutdown): their workers stop measuring dead work.
+	for seq := range g.leaseSeqs {
+		if cancel, ok := c.leaseCancels[seq]; ok {
+			cancel()
+		}
+	}
+	for _, t := range g.tasks {
+		delete(c.inflight, t.key)
+	}
+	var okCount, failCount, budgetCount, instrSum int64
+	for i, t := range g.tasks {
+		var err error
+		switch {
+		case groupErr != nil:
+			err = groupErr
+		case errs != nil:
+			err = errs[i]
+		}
+		if err == nil && results != nil {
+			t.res = results[i]
+			okCount++
+			instrSum += results[i].Instructions
+			if perr := c.store.Put(
+				farm.Entry(t.key, t.res.Cycles),
+				farm.Entry(farm.EnergyKey(t.key), t.res.Energy),
+			); perr != nil {
+				c.logf("dist: store append for %s failed: %v", t.key, perr)
+			}
+		} else {
+			t.err = err
+			failCount++
+			if farm.Classify(err) == farm.ClassBudget {
+				budgetCount++
+			}
+		}
+	}
+	shared := int64(0)
+	if len(g.tasks) > 1 {
+		shared = okCount
+	}
+	c.bump(func(s *coStats) {
+		s.groups++
+		s.sims += okCount
+		s.instrs += instrSum
+		s.traceShared += shared
+		s.fails += failCount
+		s.budget += budgetCount
+	})
+	for _, t := range g.tasks {
+		close(t.done)
+	}
+}
+
+// Stats snapshots the coordinator's counters tear-free (one statMu
+// acquisition), in the same shape the in-process farm reports so /metrics
+// and the harness log work unchanged. Workers is the worker-process count;
+// compile-cache counters stay zero because compilation happens worker-side.
+func (c *Coordinator) Stats() farm.Stats {
+	c.statMu.Lock()
+	st := farm.Stats{
+		Workers:         len(c.workers),
+		CacheHits:       c.st.hits,
+		CacheMisses:     c.st.misses,
+		Coalesced:       c.st.coalesced,
+		SimsExecuted:    c.st.sims,
+		InstrsSimulated: c.st.instrs,
+		Failures:        c.st.fails,
+		BudgetOverruns:  c.st.budget,
+		TraceSharedSims: c.st.traceShared,
+		BinaryGroups:    c.st.groups,
+
+		GroupsDispatched: c.st.dispatched,
+		GroupsHedged:     c.st.hedged,
+		GroupsRequeued:   c.st.requeued,
+		WorkersLive:      c.st.workersLive,
+	}
+	st.PerWorker = make([]farm.WorkerStats, len(c.workers))
+	for i := range st.PerWorker {
+		st.PerWorker[i] = farm.WorkerStats{
+			Jobs: c.st.workerJobs[i],
+			Busy: time.Duration(c.st.workerBusyNanos[i]),
+		}
+	}
+	c.statMu.Unlock()
+	st.WallTime = time.Since(c.start)
+	return st
+}
+
+// Interface assertions: the coordinator is a drop-in measurement backend.
+var (
+	_ farm.Backend = (*Coordinator)(nil)
+	_ farm.Drainer = (*Coordinator)(nil)
+)

@@ -1,0 +1,355 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/farm"
+)
+
+// scheduler is the single goroutine that matches queued groups to workers
+// with free lease slots. It blocks while the queue is empty, every worker
+// is at its in-flight cap (backpressure: a huge batch queues here instead
+// of overwhelming the workers), or the coordinator is draining.
+func (c *Coordinator) scheduler() {
+	defer close(c.schedDone)
+	for {
+		c.mu.Lock()
+		for !c.closed && (c.draining || !c.dispatchableLocked()) {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		req := c.queue[0]
+		c.queue = c.queue[1:]
+		if req.g.done {
+			c.mu.Unlock()
+			continue
+		}
+		wi := c.pickWorkerLocked(req.g)
+		w := c.workers[wi]
+		wasLive := w.live
+		w.inflight++
+		req.g.leases++
+		req.g.lastWorker = wi
+		c.leases++
+		seq := c.leaseSeq
+		c.leaseSeq++
+		lctx, cancel := context.WithCancel(req.g.ctx)
+		c.leaseCancels[seq] = cancel
+		req.g.leaseSeqs[seq] = struct{}{}
+		hedge := req.hedge
+		c.bump(func(s *coStats) {
+			s.dispatched++
+			if hedge {
+				s.hedged++
+			}
+		})
+		c.mu.Unlock()
+		go c.runLease(req.g, wi, seq, lctx, wasLive)
+		if !hedge {
+			go c.hedgeTimer(req.g)
+		}
+	}
+}
+
+// dispatchableLocked reports whether the queue head can be leased now.
+func (c *Coordinator) dispatchableLocked() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	for _, w := range c.workers {
+		if w.inflight < c.cap {
+			return true
+		}
+	}
+	return false
+}
+
+// pickWorkerLocked chooses the lease target: the least-loaded worker with a
+// free slot, preferring live workers and avoiding the group's previous
+// worker (so requeues and hedges land somewhere new when possible).
+func (c *Coordinator) pickWorkerLocked(g *cgroup) int {
+	best := -1
+	score := func(i int) (int, bool) {
+		w := c.workers[i]
+		if w.inflight >= c.cap {
+			return 0, false
+		}
+		s := w.inflight * 4
+		if !w.live {
+			s += 2
+		}
+		if i == g.lastWorker {
+			s++
+		}
+		return s, true
+	}
+	bestScore := 0
+	for i := range c.workers {
+		if s, ok := score(i); ok && (best == -1 || s < bestScore) {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// hedgeTimer re-queues a group for a second lease if it is still running
+// once its primary lease outlives the hedging threshold (~p95 of completed
+// group latencies, floored at HedgeMin). The first lease to finish wins via
+// finishGroupLocked; the loser's context is cancelled there.
+func (c *Coordinator) hedgeTimer(g *cgroup) {
+	if c.hedgeMin < 0 || len(c.workers) < 2 {
+		return
+	}
+	delay := c.hedgeDelay()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-g.finished:
+		return
+	case <-timer.C:
+	}
+	c.mu.Lock()
+	if !g.done && !g.hedged && !c.draining && !c.closed && g.leases > 0 {
+		g.hedged = true
+		c.queue = append(c.queue, &dispatchReq{g: g, hedge: true})
+		c.logf("dist: hedging %s group of %d after %s", g.w.Key(), len(g.tasks), delay.Round(time.Millisecond))
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		return
+	}
+	c.mu.Unlock()
+}
+
+// hedgeDelay is the straggler threshold: p95 of recently completed group
+// lease latencies, floored at HedgeMin; before enough groups completed to
+// estimate a tail, the floor alone applies.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	c.statMu.Lock()
+	lats := append([]float64(nil), c.st.latencies...)
+	c.statMu.Unlock()
+	if len(lats) < 3 {
+		return c.hedgeMin
+	}
+	sort.Float64s(lats)
+	p95 := lats[(len(lats)-1)*95/100]
+	d := time.Duration(p95 * float64(time.Second))
+	if d < c.hedgeMin {
+		d = c.hedgeMin
+	}
+	return d
+}
+
+// probeDelay spaces out redispatches after a failure on a worker that was
+// already suspect, so a dead worker cannot hot-loop the scheduler (or burn a
+// group's attempt budget) while the live workers are busy.
+const probeDelay = 250 * time.Millisecond
+
+// runLease executes one lease end to end: stream the group from the worker,
+// then either deliver the merged results (first finisher wins) or classify
+// the lease failure — requeue on worker death or lease expiry, fail the
+// group once the attempt budget is spent, stand down silently if a hedge
+// twin is still running. wasLive records whether the worker looked healthy
+// at dispatch time: failures on an already-suspect worker don't spend the
+// group's attempt budget as long as healthier workers exist.
+func (c *Coordinator) runLease(g *cgroup, wi int, seq int64, ctx context.Context, wasLive bool) {
+	start := time.Now()
+	results, errs, err := c.streamGroup(ctx, c.workers[wi].base, g, seq)
+	busy := time.Since(start)
+
+	c.mu.Lock()
+	if cancel, ok := c.leaseCancels[seq]; ok {
+		delete(c.leaseCancels, seq)
+		defer cancel() // release the context once the bookkeeping is done
+	}
+	delete(g.leaseSeqs, seq)
+	w := c.workers[wi]
+	w.inflight--
+	g.leases--
+	c.leases--
+	liveBefore := w.live
+	w.live = err == nil || ctx.Err() != nil // a cancelled lease says nothing about health
+	if w.live != liveBefore {
+		delta := int64(1)
+		if !w.live {
+			delta = -1
+		}
+		c.bump(func(s *coStats) { s.workersLive += delta })
+	}
+	c.bump(func(s *coStats) {
+		s.workerJobs[wi]++
+		s.workerBusyNanos[wi] += busy.Nanoseconds()
+		if err == nil {
+			s.latencies = append(s.latencies, busy.Seconds())
+			if len(s.latencies) > 512 {
+				s.latencies = append(s.latencies[:0], s.latencies[256:]...)
+			}
+		}
+	})
+
+	switch {
+	case g.done:
+		// A hedge twin already delivered (or shutdown failed the group);
+		// this copy is discarded — the dedup that makes hedging exactly-once.
+	case err == nil:
+		c.finishGroupLocked(g, results, errs, nil)
+	case g.ctx.Err() != nil:
+		// The submitting caller is gone; no point retrying for nobody.
+		c.finishGroupLocked(g, nil, nil, g.ctx.Err())
+	case g.leases > 0:
+		// A twin lease is still running; let it race to the finish.
+		c.logf("dist: lease on %s failed (%v), twin still running", w.addr, err)
+	case c.closed:
+		c.finishGroupLocked(g, nil, nil, errClosed)
+	case c.draining:
+		// Drain expired this lease: requeue so the group is visibly
+		// abandoned-but-unlost; Close fails its waiters.
+		g.attempts++
+		c.requeueLocked(g, 0)
+		c.logf("dist: drain requeued %s group of %d", g.w.Key(), len(g.tasks))
+	case !wasLive && c.anyLiveLocked():
+		// A fast failure on a worker that was already suspect, with
+		// healthier workers around: redispatch after a probe delay and keep
+		// the attempt budget for failures that carry information.
+		c.requeueLocked(g, probeDelay)
+		c.logf("dist: requeued %s group of %d after probe of suspect %s: %v",
+			g.w.Key(), len(g.tasks), w.addr, err)
+	case g.attempts+1 >= c.maxAttempts:
+		g.attempts++
+		c.finishGroupLocked(g, nil, nil, fmt.Errorf("dist: group failed after %d leases: %w", g.attempts, err))
+	default:
+		g.attempts++
+		c.requeueLocked(g, 0)
+		c.logf("dist: requeued %s group of %d after lease failure on %s: %v",
+			g.w.Key(), len(g.tasks), w.addr, err)
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// anyLiveLocked reports whether some worker still looks healthy.
+func (c *Coordinator) anyLiveLocked() bool {
+	for _, w := range c.workers {
+		if w.live {
+			return true
+		}
+	}
+	return false
+}
+
+// requeueLocked puts g back on the dispatch queue, immediately or after a
+// delay. A delayed requeue that lands after Close fails the group's waiters
+// instead of stranding them (Close already flushed the queue by then).
+func (c *Coordinator) requeueLocked(g *cgroup, delay time.Duration) {
+	c.bump(func(s *coStats) { s.requeued++ })
+	if delay <= 0 {
+		c.queue = append(c.queue, &dispatchReq{g: g})
+		return
+	}
+	time.AfterFunc(delay, func() {
+		c.mu.Lock()
+		if g.done {
+			c.mu.Unlock()
+			return
+		}
+		if c.closed {
+			c.finishGroupLocked(g, nil, nil, errClosed)
+			c.mu.Unlock()
+			return
+		}
+		c.queue = append(c.queue, &dispatchReq{g: g})
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	})
+}
+
+// streamGroup posts one group to a worker and consumes its ndjson stream.
+// Every line — heartbeat or result — renews the lease; silence past the
+// lease timeout means the worker died mid-group (crash, kill -9, network
+// partition) and the lease expires.
+func (c *Coordinator) streamGroup(ctx context.Context, base string, g *cgroup, seq int64) ([]farm.Result, []error, error) {
+	body, err := json.Marshal(GroupRequest{
+		Lease:    fmt.Sprintf("l%d", seq),
+		Workload: toWire(g.w),
+		Points:   wirePoints(g.tasks),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/group", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, nil, fmt.Errorf("dist: worker %s: %s: %s", base, resp.Status, bytes.TrimSpace(msg))
+	}
+
+	lines := make(chan GroupLine)
+	readErr := make(chan error, 1)
+	go func() {
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var l GroupLine
+			if derr := dec.Decode(&l); derr != nil {
+				readErr <- derr
+				return
+			}
+			select {
+			case lines <- l:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	results := make([]farm.Result, len(g.tasks))
+	errs := make([]error, len(g.tasks))
+	got := 0
+	expire := time.NewTimer(c.lease)
+	defer expire.Stop()
+	for {
+		select {
+		case l := <-lines:
+			if !expire.Stop() {
+				<-expire.C
+			}
+			expire.Reset(c.lease)
+			switch {
+			case l.Heartbeat:
+			case l.Done:
+				if got != len(g.tasks) {
+					return nil, nil, fmt.Errorf("dist: incomplete group from %s: %d/%d results", base, got, len(g.tasks))
+				}
+				return results, errs, nil
+			case l.Result:
+				if l.Index < 0 || l.Index >= len(results) {
+					return nil, nil, fmt.Errorf("dist: result index %d out of range from %s", l.Index, base)
+				}
+				results[l.Index], errs[l.Index] = l.result()
+				got++
+			}
+		case rerr := <-readErr:
+			return nil, nil, fmt.Errorf("dist: worker %s stream: %w", base, rerr)
+		case <-expire.C:
+			return nil, nil, fmt.Errorf("dist: lease expired: no line from %s in %s", base, c.lease)
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}

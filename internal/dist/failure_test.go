@@ -1,0 +1,432 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/workloads"
+)
+
+// deadWorker is a worker that accepted the lease and then went silent — the
+// wire shape of a crash, kill -9 or network partition mid-group. It writes
+// the 200 header (so the coordinator is reading the stream) and then nothing.
+func deadWorker() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/x-ndjson")
+		rw.WriteHeader(http.StatusOK)
+		if f, ok := rw.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-r.Context().Done()
+	})
+}
+
+// TestWorkerDeathRequeuesGroup kills one of two workers mid-group (it leases
+// and never heartbeats) and asserts the lease expires, the group requeues to
+// the live worker, every point completes with the right value, and nothing is
+// measured twice or lost in the store.
+func TestWorkerDeathRequeuesGroup(t *testing.T) {
+	dead := httptest.NewServer(deadWorker())
+	defer dead.Close()
+
+	var execs atomic.Int64
+	live := NewWorker(WorkerOptions{Workers: 2, Measure: stubMeasure(&execs, 0), Heartbeat: 10 * time.Millisecond})
+	liveTS := httptest.NewServer(live.Handler())
+	defer liveTS.Close()
+	defer live.Close()
+
+	// The dead worker is listed first, so round one of every group lands on
+	// it (the scheduler prefers an idle worker over a busy one).
+	co, err := New(Options{
+		Addrs:        []string{dead.URL, liveTS.URL},
+		LeaseTimeout: 150 * time.Millisecond,
+		HedgeMin:     -1, // isolate requeue from hedging
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := randomPoints(6, 21)
+	got, err := co.MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if got[i] != pointValue(p) {
+			t.Fatalf("point %d: got %v want %v", i, got[i], pointValue(p))
+		}
+	}
+	st := co.Stats()
+	if st.GroupsRequeued == 0 {
+		t.Fatalf("no requeues recorded despite a dead worker: %+v", st)
+	}
+	// Exactly-once execution: only the live worker measured, once per point.
+	if n := execs.Load(); n != int64(len(points)) {
+		t.Fatalf("%d executions for %d points — lost or duplicated work", n, len(points))
+	}
+	// No lost store entries: every key is a hit now.
+	for _, p := range points {
+		k := farm.Key(w, p)
+		if _, _, ok := co.Store().Get2(k, farm.EnergyKey(k)); !ok {
+			t.Fatalf("store lost %s", k)
+		}
+	}
+	if st.WorkersLive != 1 {
+		t.Fatalf("workers live = %d, want 1 (one dead)", st.WorkersLive)
+	}
+}
+
+// TestHedgeFirstResultWins pins straggler hedging: a group stuck on a slow
+// worker is re-leased to the fast one once it outlives the hedge threshold;
+// the fast lease's results are delivered and persisted exactly once, and the
+// slow twin's lease is cancelled rather than abandoned.
+func TestHedgeFirstResultWins(t *testing.T) {
+	// The slow worker blocks until its lease context is cancelled — it can
+	// only "finish" by losing the race.
+	slowGate := make(chan struct{})
+	defer close(slowGate)
+	var slowExecs atomic.Int64
+	slow := NewWorker(WorkerOptions{
+		Workers:   2,
+		Heartbeat: 10 * time.Millisecond,
+		Measure: func(ctx context.Context, job farm.Job) (farm.Result, error) {
+			slowExecs.Add(1)
+			select {
+			case <-slowGate:
+			case <-ctx.Done():
+			}
+			return farm.Result{}, ctx.Err()
+		},
+	})
+	slowTS := httptest.NewServer(slow.Handler())
+	defer slowTS.Close()
+	defer slow.Close()
+
+	var fastExecs atomic.Int64
+	fast := NewWorker(WorkerOptions{Workers: 2, Measure: stubMeasure(&fastExecs, 0), Heartbeat: 10 * time.Millisecond})
+	fastTS := httptest.NewServer(fast.Handler())
+	defer fastTS.Close()
+	defer fast.Close()
+
+	co, err := New(Options{
+		Addrs:    []string{slowTS.URL, fastTS.URL}, // first lease lands on slow
+		HedgeMin: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	// One shared-binary group of three points: hedging re-leases the whole
+	// group, so primary + hedge is exactly two dispatches.
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := sweepPoints(1, 3)
+	got, err := co.MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if got[i] != pointValue(p) {
+			t.Fatalf("point %d: got %v want %v", i, got[i], pointValue(p))
+		}
+	}
+	st := co.Stats()
+	if st.GroupsHedged != 1 {
+		t.Fatalf("groups hedged = %d, want 1", st.GroupsHedged)
+	}
+	if st.GroupsDispatched != 2 {
+		t.Fatalf("dispatched = %d, want 2 (primary + hedge)", st.GroupsDispatched)
+	}
+	// Exactly-once delivery: the fast worker's results won; each point was
+	// persisted once and counted once.
+	if n := fastExecs.Load(); n != int64(len(points)) {
+		t.Fatalf("fast worker executed %d, want %d", n, len(points))
+	}
+	if st.SimsExecuted != int64(len(points)) {
+		t.Fatalf("sims recorded = %d, want %d — hedge results double-counted", st.SimsExecuted, len(points))
+	}
+}
+
+// TestCoordinatorRestartReplaysJournal pins the crash-semantics contract: the
+// store is coordinator-owned and journaled, so a new coordinator over the
+// same store directory answers everything from the journal without a single
+// lease crossing the wire.
+func TestCoordinatorRestartReplaysJournal(t *testing.T) {
+	dir := t.TempDir()
+	var execs atomic.Int64
+	wk := NewWorker(WorkerOptions{Workers: 2, Measure: stubMeasure(&execs, 0), Heartbeat: 10 * time.Millisecond})
+	ts := httptest.NewServer(wk.Handler())
+	defer ts.Close()
+	defer wk.Close()
+
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := randomPoints(8, 23)
+
+	openStore := func() *farm.Store {
+		st, err := farm.Open(filepath.Join(dir, "measurements"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	co1, err := New(Options{Addrs: []string{ts.URL}, Store: openStore(), HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := co1.MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co1.Close(); err != nil { // journal + checkpoint flushed here
+		t.Fatal(err)
+	}
+	measured := execs.Load()
+
+	co2, err := New(Options{Addrs: []string{ts.URL}, Store: openStore(), HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co2.Close()
+	got, err := co2.MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if got[i] != want[i] {
+			t.Fatalf("point %d changed across restart: %v -> %v", i, want[i], got[i])
+		}
+	}
+	if n := execs.Load(); n != measured {
+		t.Fatalf("restart re-measured: %d executions before, %d after", measured, n)
+	}
+	st := co2.Stats()
+	if st.GroupsDispatched != 0 || st.CacheHits != int64(len(points)) {
+		t.Fatalf("restart went to the wire: dispatched=%d hits=%d", st.GroupsDispatched, st.CacheHits)
+	}
+}
+
+// TestAllWorkersDeadExhaustsAttempts bounds the retry loop: with every
+// worker silent, a group fails to its callers after MaxAttempts leases
+// instead of spinning forever.
+func TestAllWorkersDeadExhaustsAttempts(t *testing.T) {
+	d1 := httptest.NewServer(deadWorker())
+	defer d1.Close()
+	d2 := httptest.NewServer(deadWorker())
+	defer d2.Close()
+
+	co, err := New(Options{
+		Addrs:        []string{d1.URL, d2.URL},
+		LeaseTimeout: 100 * time.Millisecond,
+		MaxAttempts:  2,
+		HedgeMin:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	w := workloads.MustGet("179.art", workloads.Train)
+	_, err = co.Measure(context.Background(), w, randomPoints(1, 24)[0], farm.Cycles)
+	if err == nil {
+		t.Fatal("expected failure with every worker dead")
+	}
+	if !strings.Contains(err.Error(), "after 2 leases") {
+		t.Fatalf("error %q does not mention the exhausted lease budget", err)
+	}
+	st := co.Stats()
+	if st.GroupsDispatched != 2 || st.GroupsRequeued != 1 {
+		t.Fatalf("dispatched=%d requeued=%d, want 2/1", st.GroupsDispatched, st.GroupsRequeued)
+	}
+	if st.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", st.Failures)
+	}
+}
+
+// TestSuspectWorkerDoesNotBurnAttempts pins the probe-delay policy: with one
+// worker refusing connections and the only live worker saturated, instant
+// dispatch failures on the already-suspect worker must not consume the
+// groups' attempt budgets — every group still completes on the live worker.
+func TestSuspectWorkerDoesNotBurnAttempts(t *testing.T) {
+	// A server that is already gone: dials to its address fail immediately,
+	// the worst case for budget burn (failure is instant and free).
+	gone := httptest.NewServer(http.NotFoundHandler())
+	goneURL := gone.URL
+	gone.Close()
+
+	var execs atomic.Int64
+	live := NewWorker(WorkerOptions{Workers: 1, Measure: stubMeasure(&execs, 40*time.Millisecond), Heartbeat: 10 * time.Millisecond})
+	liveTS := httptest.NewServer(live.Handler())
+	defer liveTS.Close()
+	defer live.Close()
+
+	co, err := New(Options{
+		Addrs:       []string{goneURL, liveTS.URL},
+		MaxInFlight: 1, // keeps the live worker saturated, exposing the dead one
+		MaxAttempts: 2,
+		HedgeMin:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := randomPoints(5, 28) // five groups, only one live lease slot
+	got, err := co.MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		t.Fatalf("batch failed with a live worker available: %v", err)
+	}
+	for i, p := range points {
+		if got[i] != pointValue(p) {
+			t.Fatalf("point %d: got %v want %v", i, got[i], pointValue(p))
+		}
+	}
+	if n := execs.Load(); n != int64(len(points)) {
+		t.Fatalf("%d executions for %d points", n, len(points))
+	}
+}
+
+// TestErrorClassSurvivesTheWire pins farm.RemoteError: a worker-side budget
+// overrun reaches the coordinator's caller still classified as a budget
+// failure (so retry policy and the BudgetOverruns counter behave exactly as
+// in-process).
+func TestErrorClassSurvivesTheWire(t *testing.T) {
+	wk := NewWorker(WorkerOptions{
+		Workers:   1,
+		Heartbeat: 10 * time.Millisecond,
+		Measure: func(ctx context.Context, job farm.Job) (farm.Result, error) {
+			return farm.Result{}, &farm.SimError{Workload: job.Workload.Key(), Budget: true, Err: errors.New("budget exhausted")}
+		},
+	})
+	ts := httptest.NewServer(wk.Handler())
+	defer ts.Close()
+	defer wk.Close()
+
+	co, err := New(Options{Addrs: []string{ts.URL}, HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	w := workloads.MustGet("179.art", workloads.Train)
+	_, err = co.Measure(context.Background(), w, randomPoints(1, 25)[0], farm.Cycles)
+	if err == nil {
+		t.Fatal("expected remote budget error")
+	}
+	var re *farm.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T is not a RemoteError", err)
+	}
+	if got := farm.Classify(err); got != farm.ClassBudget {
+		t.Fatalf("Classify = %v, want ClassBudget", got)
+	}
+	st := co.Stats()
+	if st.BudgetOverruns != 1 || st.Failures != 1 {
+		t.Fatalf("budget=%d failures=%d, want 1/1", st.BudgetOverruns, st.Failures)
+	}
+}
+
+// TestDrainWaitsThenRequeues pins the drain lifecycle: draining stops new
+// leases, a drain that outlasts the in-flight lease returns clean, and a
+// drain bounded tighter than the lease cancels it and requeues the group so
+// no work is silently lost.
+func TestDrainWaitsThenRequeues(t *testing.T) {
+	t.Run("in-flight lease finishes", func(t *testing.T) {
+		p := newPlane(t,
+			[]WorkerOptions{{Workers: 1, Measure: stubMeasure(nil, 100*time.Millisecond), Heartbeat: 10 * time.Millisecond}},
+			Options{HedgeMin: -1},
+		)
+		w := workloads.MustGet("179.art", workloads.Train)
+		points := sweepPoints(1, 2) // one group, one lease
+		done := make(chan error, 1)
+		go func() {
+			_, err := p.co.MeasureBatch(context.Background(), w, points, farm.Cycles)
+			done <- err
+		}()
+		waitForDispatch(t, p.co, 1)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := p.co.Drain(ctx); err != nil {
+			t.Fatalf("drain with room to finish returned %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("batch under drain failed: %v", err)
+		}
+		for _, pt := range points {
+			k := farm.Key(w, pt)
+			if _, _, ok := p.co.Store().Get2(k, farm.EnergyKey(k)); !ok {
+				t.Fatalf("drained coordinator lost %s", k)
+			}
+		}
+	})
+
+	t.Run("drain timeout requeues", func(t *testing.T) {
+		gate := make(chan struct{})
+		defer close(gate)
+		p := newPlane(t,
+			[]WorkerOptions{{
+				Workers:   1,
+				Heartbeat: 10 * time.Millisecond,
+				Measure: func(ctx context.Context, job farm.Job) (farm.Result, error) {
+					select {
+					case <-gate:
+					case <-ctx.Done():
+					}
+					return farm.Result{}, ctx.Err()
+				},
+			}},
+			Options{HedgeMin: -1},
+		)
+		w := workloads.MustGet("179.art", workloads.Train)
+		done := make(chan error, 1)
+		go func() {
+			_, err := p.co.Measure(context.Background(), w, randomPoints(1, 27)[0], farm.Cycles)
+			done <- err
+		}()
+		waitForDispatch(t, p.co, 1)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		if err := p.co.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("drain = %v, want deadline exceeded", err)
+		}
+		if st := p.co.Stats(); st.GroupsRequeued != 1 {
+			t.Fatalf("requeued = %d, want 1 — the cancelled lease's group vanished", st.GroupsRequeued)
+		}
+		// Close fails the still-queued waiter rather than hanging.
+		if err := p.co.Close(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("waiter got a result from a drained+closed coordinator")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter hung after drain+close")
+		}
+	})
+}
+
+func waitForDispatch(t *testing.T, co *Coordinator, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for co.Stats().GroupsDispatched < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never dispatched %d groups: %+v", n, co.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,111 @@
+// Package dist is the distributed measurement plane: a coordinator that
+// shards farm batches across N empirico-worker processes over HTTP.
+//
+// The dispatch unit is a shared-binary group, not a point: the coordinator
+// plans batches into farm.BinaryKey groups exactly as farm.DoJobs does and
+// leases whole groups to workers, so the compile-once/interpret-once
+// sharing of the batch planner survives distribution (a group split across
+// workers would recompile and re-interpret per shard). Workers are
+// stateless measurers wrapping a local in-memory farm; the durable store
+// stays coordinator-owned and results are journaled through the existing
+// farm.Store path, so crash semantics are unchanged from the in-process
+// plane.
+//
+// Failure handling lives entirely on the coordinator: a lease whose result
+// stream goes silent past the lease timeout expires and the group is
+// requeued to another worker; a group that exceeds ~p95 of completed group
+// latencies is hedged (re-leased to a second worker, first result wins
+// through the coordinator's single-flight dedup); per-worker in-flight caps
+// provide backpressure.
+package dist
+
+import (
+	"repro/internal/doe"
+	"repro/internal/farm"
+	"repro/internal/workloads"
+)
+
+// WireWorkload is the full workload identity on the wire. The source text
+// travels too: farm keys hash it, and workers must measure exactly what the
+// coordinator keyed (generated workloads — benchmarks, future workload
+// generators — have no name registry to resolve against).
+type WireWorkload struct {
+	Name   string `json:"name"`
+	Input  string `json:"input"`
+	Class  string `json:"class"`
+	Source string `json:"source"`
+}
+
+func toWire(w workloads.Workload) WireWorkload {
+	return WireWorkload{Name: w.Name, Input: w.Input, Class: string(w.Class), Source: w.Source}
+}
+
+// Workload reconstructs the workload a request describes.
+func (ww WireWorkload) Workload() workloads.Workload {
+	return workloads.Workload{
+		Name:   ww.Name,
+		Input:  ww.Input,
+		Class:  workloads.InputClass(ww.Class),
+		Source: ww.Source,
+	}
+}
+
+// GroupRequest leases one shared-binary group to a worker: every point
+// carries the same compiler subvector and issue width, so the worker's own
+// batch planner compiles once and interprets once for the whole group.
+type GroupRequest struct {
+	// Lease identifies this lease in worker logs; retries and hedges of
+	// the same group carry distinct lease IDs.
+	Lease    string       `json:"lease"`
+	Workload WireWorkload `json:"workload"`
+	Points   [][]int64    `json:"points"`
+}
+
+// GroupLine is one line of the worker's streamed ndjson response. While the
+// group measures, the worker emits heartbeat lines (the coordinator's lease
+// stays alive as long as lines keep arriving); when the group completes it
+// emits one result line per point, in request order, then a done line.
+type GroupLine struct {
+	Heartbeat bool `json:"hb,omitempty"`
+
+	// Result fields; a line is a result when Result is true.
+	Result bool    `json:"result,omitempty"`
+	Index  int     `json:"i,omitempty"`
+	Cycles float64 `json:"cycles,omitempty"`
+	Energy float64 `json:"energy,omitempty"`
+	Instrs int64   `json:"instrs,omitempty"`
+	// Error and Class carry a per-point failure with its retry class
+	// ("permanent", "budget", "transient"), reconstructed coordinator-side
+	// as farm.RemoteError so classification survives the wire.
+	Error string `json:"error,omitempty"`
+	Class string `json:"class,omitempty"`
+
+	Done bool `json:"done,omitempty"`
+}
+
+// result converts a result line back into the farm's types.
+func (l GroupLine) result() (farm.Result, error) {
+	if l.Error != "" {
+		return farm.Result{}, &farm.RemoteError{Msg: l.Error, Class: farm.ClassFromString(l.Class)}
+	}
+	return farm.Result{Cycles: l.Cycles, Energy: l.Energy, Instructions: l.Instrs}, nil
+}
+
+// wirePoints flattens doe points for JSON.
+func wirePoints(jobs []*ctask) [][]int64 {
+	pts := make([][]int64, len(jobs))
+	for i, t := range jobs {
+		pts[i] = []int64(t.job.Point)
+	}
+	return pts
+}
+
+// jobsFromWire rebuilds farm jobs from a request.
+func jobsFromWire(req *GroupRequest) []farm.Job {
+	w := req.Workload.Workload()
+	jobs := make([]farm.Job, len(req.Points))
+	for i, raw := range req.Points {
+		jobs[i] = farm.Job{Workload: w, Point: doe.Point(raw)}
+	}
+	return jobs
+}

@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/farm"
+)
+
+// WorkerOptions configures a measurement worker.
+type WorkerOptions struct {
+	// Workers bounds the local farm's pool (0 = GOMAXPROCS).
+	Workers int
+	// MaxInstrs bounds each simulation (0 = the farm default of 500M).
+	// Coordinators and workers must agree on the budget for bit-identical
+	// results; both default to the same constant.
+	MaxInstrs int64
+	// Heartbeat is the interval between heartbeat lines while a group
+	// measures (0 = 500ms). It must be well under the coordinator's lease
+	// timeout.
+	Heartbeat time.Duration
+	// Measure, when non-nil, replaces the compile+simulate executor
+	// (test seam).
+	Measure farm.MeasureFunc
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+}
+
+// Worker wraps a local, in-memory farm behind the group-lease API. It is
+// deliberately stateless: no durable store, no knowledge of other workers —
+// the coordinator owns durability, dedup and scheduling, so a worker can be
+// killed and replaced at any moment without losing anything but in-flight
+// work (which the coordinator requeues on lease expiry).
+type Worker struct {
+	farm   *farm.Farm
+	hb     time.Duration
+	log    io.Writer
+	mux    *http.ServeMux
+	groups atomic.Int64
+	start  time.Time
+}
+
+// NewWorker builds a worker over a fresh local farm.
+func NewWorker(opts WorkerOptions) *Worker {
+	w := &Worker{
+		farm: farm.New(farm.Options{
+			Workers:   opts.Workers,
+			Measure:   opts.Measure,
+			MaxInstrs: opts.MaxInstrs,
+			Log:       opts.Log,
+		}),
+		hb:    opts.Heartbeat,
+		log:   opts.Log,
+		start: time.Now(),
+	}
+	if w.hb <= 0 {
+		w.hb = 500 * time.Millisecond
+	}
+	w.mux = http.NewServeMux()
+	w.mux.HandleFunc("POST /v1/group", w.handleGroup)
+	w.mux.HandleFunc("GET /healthz", w.handleHealthz)
+	return w
+}
+
+// Handler returns the worker's HTTP handler.
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// Close drains the local farm.
+func (w *Worker) Close() error { return w.farm.Close() }
+
+// Stats exposes the local farm's counters (for the healthz payload and
+// tests).
+func (w *Worker) Stats() farm.Stats { return w.farm.Stats() }
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.log != nil {
+		fmt.Fprintf(w.log, format+"\n", args...)
+	}
+}
+
+// handleGroup measures one leased group and streams the outcome. The group
+// runs through the local farm's batch planner, so all points (which share a
+// binary by construction) are compiled once and interpreted once —
+// bit-for-bit identical to the coordinator running them in-process. While
+// the measurement runs, heartbeat lines keep the coordinator's lease alive;
+// a worker that dies mid-group simply stops writing, and the coordinator's
+// read deadline expires the lease.
+func (w *Worker) handleGroup(rw http.ResponseWriter, r *http.Request) {
+	var req GroupRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Points) == 0 {
+		http.Error(rw, "empty group", http.StatusBadRequest)
+		return
+	}
+	jobs := jobsFromWire(&req)
+	w.logf("worker: lease %s: %s, %d points", req.Lease, jobs[0].Workload.Key(), len(jobs))
+
+	type outcome struct {
+		res  []farm.Result
+		errs []error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, errs := w.farm.DoJobs(r.Context(), jobs)
+		done <- outcome{res, errs}
+	}()
+
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(rw)
+	flush := func() {
+		if f, ok := rw.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	ticker := time.NewTicker(w.hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			enc.Encode(GroupLine{Heartbeat: true})
+			flush()
+		case out := <-done:
+			for i := range jobs {
+				line := GroupLine{Result: true, Index: i}
+				if err := out.errs[i]; err != nil {
+					line.Error = err.Error()
+					line.Class = farm.Classify(err).String()
+				} else {
+					line.Cycles = out.res[i].Cycles
+					line.Energy = out.res[i].Energy
+					line.Instrs = out.res[i].Instructions
+				}
+				enc.Encode(line)
+			}
+			enc.Encode(GroupLine{Done: true})
+			flush()
+			w.groups.Add(1)
+			return
+		case <-r.Context().Done():
+			// The coordinator hung up (lease cancelled after a hedge won,
+			// or drain): DoJobs sees the same context and unwinds.
+			<-done
+			return
+		}
+	}
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	st := w.farm.Stats()
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(w.start).Seconds(),
+		"groups_done":    w.groups.Load(),
+		"sims":           st.SimsExecuted,
+		"farm_workers":   st.Workers,
+	})
+}

@@ -93,8 +93,15 @@ type Harness struct {
 	// before the first measurement.
 	Measure farm.MeasureFunc
 
+	// MakeBackend, when non-nil, builds the measurement backend instead of
+	// the in-process farm.New — the hook the distributed coordinator
+	// (internal/dist) plugs into. It receives the fully populated options,
+	// durable store included, so backends inherit the harness's cache
+	// exactly as the local farm would.
+	MakeBackend func(opts farm.Options) farm.Backend
+
 	mu    sync.Mutex
-	farm  *farm.Farm
+	farm  farm.Backend
 	space *doe.Space
 }
 
@@ -121,11 +128,12 @@ func (h *Harness) cachePath() string {
 	return filepath.Join(h.CacheDir, "measurements-"+h.Scale.Name+".json")
 }
 
-// Farm returns the harness's measurement farm, creating it (and loading the
-// durable store when CacheDir is set) on first use. Configuration fields
-// (CacheDir, Workers, MaxInstrs, Log) must be set before the first
-// measurement.
-func (h *Harness) Farm() *farm.Farm {
+// Farm returns the harness's measurement backend — the in-process farm, or
+// whatever MakeBackend builds (the distributed coordinator) — creating it
+// (and loading the durable store when CacheDir is set) on first use.
+// Configuration fields (CacheDir, Workers, MaxInstrs, Log, MakeBackend)
+// must be set before the first measurement.
+func (h *Harness) Farm() farm.Backend {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.farm != nil {
@@ -142,14 +150,33 @@ func (h *Harness) Farm() *farm.Farm {
 			store = s
 		}
 	}
-	h.farm = farm.New(farm.Options{
+	opts := farm.Options{
 		Workers:   h.Workers,
 		Store:     store,
 		Measure:   h.Measure,
 		MaxInstrs: h.MaxInstrs,
 		Log:       h.Log,
-	})
+	}
+	if h.MakeBackend != nil {
+		h.farm = h.MakeBackend(opts)
+	} else {
+		h.farm = farm.New(opts)
+	}
 	return h.farm
+}
+
+// Drain asks the backend to stop admitting work to executors and to finish
+// (or requeue) in-flight work within ctx. Only backends with remote leases
+// implement it — the in-process farm drains in Close — so for local farms
+// this is a no-op.
+func (h *Harness) Drain(ctx context.Context) error {
+	h.mu.Lock()
+	f := h.farm
+	h.mu.Unlock()
+	if d, ok := f.(farm.Drainer); ok {
+		return d.Drain(ctx)
+	}
+	return nil
 }
 
 // FarmStats snapshots the measurement farm's instrumentation counters. A

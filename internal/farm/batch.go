@@ -316,6 +316,7 @@ func (f *Farm) runGroup(lead *task) {
 	}
 	f.bump(func(s *counters) {
 		s.groups++
+		s.dispatched++
 		s.sims += okCount
 		s.instrs += instrSum
 		s.traceShared += okCount

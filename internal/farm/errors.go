@@ -66,6 +66,29 @@ func (e *SimError) Error() string {
 
 func (e *SimError) Unwrap() error { return e.Err }
 
+// RemoteError reconstructs a worker-side failure on the coordinator: the
+// message travelled the wire as text, so the original error type is gone,
+// but the class travelled with it and must keep steering the retry policy
+// (a remote budget overrun stays a budget overrun; a remote compile failure
+// stays permanent).
+type RemoteError struct {
+	Msg   string
+	Class Class
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// ClassFromString parses the wire form produced by Class.String.
+func ClassFromString(s string) Class {
+	switch s {
+	case "budget":
+		return ClassBudget
+	case "transient":
+		return ClassTransient
+	}
+	return ClassPermanent
+}
+
 type transientError struct{ err error }
 
 func (e *transientError) Error() string { return e.err.Error() }
@@ -103,6 +126,10 @@ func Classify(err error) Class {
 	var te *transientError
 	if errors.As(err, &te) {
 		return ClassTransient
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Class
 	}
 	// Filesystem and syscall errors come from the result store; the disk
 	// may recover (full tmpfs, interrupted write), so retry.

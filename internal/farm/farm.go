@@ -101,6 +101,7 @@ type counters struct {
 	retried, budgetOverruns, fails int64
 	compileHits, compileMisses     int64
 	traceShared, groups            int64
+	dispatched, hedged, requeued   int64
 	workerBusyNanos                []int64
 	workerJobs                     []int64
 }
@@ -406,8 +407,19 @@ type Stats struct {
 	CompileCacheMisses int64
 	TraceSharedSims    int64
 	BinaryGroups       int64
-	WallTime           time.Duration
-	PerWorker          []WorkerStats
+	// Dispatch-plane counters. GroupsDispatched counts every lease of a
+	// shared-binary group to an executor (locally: one per group run;
+	// distributed: one per worker lease, so hedges and requeue re-leases
+	// count again). GroupsHedged counts straggler re-dispatches,
+	// GroupsRequeued counts leases abandoned after worker death or drain,
+	// and WorkersLive is the executors currently believed healthy (for the
+	// in-process farm that is simply the pool size).
+	GroupsDispatched int64
+	GroupsHedged     int64
+	GroupsRequeued   int64
+	WorkersLive      int64
+	WallTime         time.Duration
+	PerWorker        []WorkerStats
 }
 
 // Utilization is the mean fraction of wall time the workers spent executing
@@ -453,6 +465,11 @@ func (f *Farm) Stats() Stats {
 		CompileCacheMisses: f.st.compileMisses,
 		TraceSharedSims:    f.st.traceShared,
 		BinaryGroups:       f.st.groups,
+
+		GroupsDispatched: f.st.dispatched,
+		GroupsHedged:     f.st.hedged,
+		GroupsRequeued:   f.st.requeued,
+		WorkersLive:      int64(f.workers),
 	}
 	st.PerWorker = make([]WorkerStats, f.workers)
 	for i := range st.PerWorker {

@@ -53,6 +53,12 @@ type Options struct {
 	// Log receives harness/farm progress lines; nil silences them.
 	Log io.Writer
 
+	// MakeBackend, when non-nil, replaces the in-process farm on every
+	// harness the server creates — cmd/empiricod passes the distributed
+	// coordinator's factory here when -workers-addrs is set, turning the
+	// daemon into the coordinator of a worker fleet.
+	MakeBackend func(opts farm.Options) farm.Backend
+
 	// Measure, when non-nil, replaces the compile+simulate executor on
 	// every harness the server creates (test seam).
 	Measure farm.MeasureFunc
@@ -219,6 +225,7 @@ func (s *Server) harnessFor(scaleName string) (*exp.Harness, error) {
 	h.MaxInstrs = s.opts.MaxInstrs
 	h.Log = s.opts.Log
 	h.Measure = s.opts.Measure
+	h.MakeBackend = s.opts.MakeBackend
 	s.harnesses[sc.Name] = h
 	return h, nil
 }
@@ -246,6 +253,28 @@ func (s *Server) farmBatch(ctx context.Context, w workloads.Workload, pts []doe.
 		return nil, err
 	}
 	return h.Farm().MeasureBatch(ctx, w, pts, resp)
+}
+
+// Drain stops leasing new measurement groups to remote workers and waits
+// (bounded by ctx) for in-flight leases to finish; leases still running at
+// the deadline are cancelled and requeued. Call between the HTTP listener's
+// Shutdown and Close, so SIGTERM never abandons a lease mid-flight without
+// first giving it a chance to land in the store. With the in-process farm
+// this is a no-op — its Close drains internally.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	hs := make([]*exp.Harness, 0, len(s.harnesses))
+	for _, h := range s.harnesses {
+		hs = append(hs, h)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, h := range hs {
+		if err := h.Drain(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Close checkpoints and drains every harness farm. Call after the HTTP
@@ -606,6 +635,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("compile_cache_misses_total", st.CompileCacheMisses)
 		emit("trace_shared_sims_total", st.TraceSharedSims)
 		emit("binary_groups_total", st.BinaryGroups)
+		emit("groups_dispatched_total", st.GroupsDispatched)
+		emit("groups_hedged_total", st.GroupsHedged)
+		emit("groups_requeued_total", st.GroupsRequeued)
+		emit("workers_live", st.WorkersLive)
 	}
 }
 
