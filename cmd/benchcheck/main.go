@@ -4,10 +4,16 @@
 // after the benchmark step so a slowdown fails the build instead of landing
 // silently. Two benchmark sets are understood:
 //
-//	-set sim (default): simulator throughput + SMARTS sampling,
-//	    gated on detailed-simulation instructions per second.
+//	-set sim (default): simulator throughput (fused and basic-block
+//	    translated engines) + SMARTS sampling + warm-state checkpoints.
+//	    Gated on detailed-simulation instructions per second, on the
+//	    same-run bb/fused wall-clock ratio (a floor just under parity:
+//	    the translated engine must never be slower than the interpreter
+//	    it replaces, with a small allowance for host jitter), and on a
+//	    hard 2x floor for the warm-checkpoint hit speedup (the ratio is
+//	    same-process, so it holds on any host).
 //
-//	go test -run '^$' -bench 'SimulatorThroughput$|SMARTSSpeedup$' -benchtime=1x . |
+//	go test -run '^$' -bench 'SimulatorThroughput$|TranslatedThroughput$|SMARTSSpeedup$|WarmCheckpointSpeedup$' -benchtime=1x . |
 //	    go run ./cmd/benchcheck -baseline BENCH_sim.json -out BENCH_sim.json
 //
 //	-set model: the analytics layer (MARS fit, D-optimal exchange,
@@ -56,12 +62,21 @@ type SimNumbers struct {
 	// InstrsPerSec is detailed-simulation throughput from
 	// BenchmarkSimulatorThroughput (committed instructions per second).
 	InstrsPerSec float64 `json:"instrs_per_sec"`
+	// BBInstrsPerSec is the basic-block translated engine's throughput
+	// from BenchmarkTranslatedThroughput.
+	BBInstrsPerSec float64 `json:"bb_instrs_per_sec"`
+	// BBVsFusedX is the same-run fused/bb wall-clock ratio from the same
+	// benchmark; >1 means the translated engine is faster.
+	BBVsFusedX float64 `json:"bb_vs_fused_x"`
 	// SMARTSSpeedupX is the detailed/sampled wall-clock ratio from
 	// BenchmarkSMARTSSpeedup.
 	SMARTSSpeedupX float64 `json:"smarts_speedup_x"`
 	// SMARTSRelErrPct is the sampled estimate's relative error (%) from
 	// the same benchmark.
 	SMARTSRelErrPct float64 `json:"smarts_est_relerr_pct"`
+	// WarmCkptHitSpeedupX is the build/replay wall-clock ratio of a
+	// warm-checkpoint hit from BenchmarkWarmCheckpointSpeedup.
+	WarmCkptHitSpeedupX float64 `json:"warm_checkpoint_hit_speedup"`
 }
 
 // ModelNumbers is the schema of BENCH_model.json. The *Ms fields are
@@ -108,6 +123,8 @@ func main() {
 	minDOptSpeedup := flag.Float64("min-doptimal-speedup", 3, "hard floor on the model set's doptimal_speedup_x")
 	minSharedSpeedup := flag.Float64("min-shared-speedup", 2, "hard floor on the farm set's shared_speedup_x")
 	minDistSpeedup := flag.Float64("min-dist-speedup", 1.7, "hard floor on the dist set's dist_speedup_x")
+	minBBSpeedup := flag.Float64("min-bb-speedup", 0.97, "floor on the sim set's bb_vs_fused_x (parity minus host jitter)")
+	minCkptSpeedup := flag.Float64("min-ckpt-speedup", 2, "hard floor on the sim set's warm_checkpoint_hit_speedup")
 	flag.Parse()
 
 	def := "BENCH_" + *set + ".json"
@@ -124,7 +141,7 @@ func main() {
 	}
 	switch *set {
 	case "sim":
-		checkSim(lines, *baselinePath, *outPath, *maxRegress)
+		checkSim(lines, *baselinePath, *outPath, *maxRegress, *minBBSpeedup, *minCkptSpeedup)
 	case "model":
 		checkModel(lines, *baselinePath, *outPath, *maxRegress, *minDOptSpeedup)
 	case "farm":
@@ -136,9 +153,9 @@ func main() {
 	}
 }
 
-func checkSim(lines []benchLine, baselinePath, outPath string, maxRegress float64) {
+func checkSim(lines []benchLine, baselinePath, outPath string, maxRegress, minBBSpeedup, minCkptSpeedup float64) {
 	cur := &SimNumbers{}
-	var haveThroughput, haveSMARTS bool
+	var haveThroughput, haveBB, haveSMARTS, haveCkpt bool
 	for _, l := range lines {
 		switch {
 		case strings.HasPrefix(l.name, "BenchmarkSimulatorThroughput"):
@@ -146,20 +163,37 @@ func checkSim(lines []benchLine, baselinePath, outPath string, maxRegress float6
 				cur.InstrsPerSec = l.metrics["instrs/op"] / (l.metrics["ns/op"] * 1e-9)
 				haveThroughput = true
 			}
+		case strings.HasPrefix(l.name, "BenchmarkTranslatedThroughput"):
+			cur.BBInstrsPerSec = l.metrics["bb-instrs-per-sec"]
+			cur.BBVsFusedX = l.metrics["bb-vs-fused-x"]
+			haveBB = true
 		case strings.HasPrefix(l.name, "BenchmarkSMARTSSpeedup"):
 			cur.SMARTSSpeedupX = l.metrics["speedup-x"]
 			cur.SMARTSRelErrPct = l.metrics["est-relerr-%"]
 			haveSMARTS = true
+		case strings.HasPrefix(l.name, "BenchmarkWarmCheckpointSpeedup"):
+			cur.WarmCkptHitSpeedupX = l.metrics["ckpt-hit-speedup-x"]
+			haveCkpt = true
 		}
 	}
-	if !haveThroughput || !haveSMARTS {
-		fatal(fmt.Errorf("benchcheck: missing benchmark output (throughput=%v smarts=%v)", haveThroughput, haveSMARTS))
+	if !haveThroughput || !haveBB || !haveSMARTS || !haveCkpt {
+		fatal(fmt.Errorf("benchcheck: missing benchmark output (throughput=%v bb=%v smarts=%v ckpt=%v)",
+			haveThroughput, haveBB, haveSMARTS, haveCkpt))
 	}
 
 	base := &SimNumbers{}
 	writeAndLoadBaseline(cur, base, baselinePath, outPath)
-	fmt.Printf("benchcheck: %.3g instrs/sec, SMARTS %.2fx (%.1f%% err)\n",
-		cur.InstrsPerSec, cur.SMARTSSpeedupX, cur.SMARTSRelErrPct)
+	fmt.Printf("benchcheck: %.3g instrs/sec (bb %.3g, %.2fx vs fused), SMARTS %.2fx (%.1f%% err), ckpt hit %.1fx\n",
+		cur.InstrsPerSec, cur.BBInstrsPerSec, cur.BBVsFusedX,
+		cur.SMARTSSpeedupX, cur.SMARTSRelErrPct, cur.WarmCkptHitSpeedupX)
+	if cur.BBVsFusedX < minBBSpeedup {
+		fatal(fmt.Errorf("benchcheck: translated engine %.2fx of fused, below floor %.2fx",
+			cur.BBVsFusedX, minBBSpeedup))
+	}
+	if cur.WarmCkptHitSpeedupX < minCkptSpeedup {
+		fatal(fmt.Errorf("benchcheck: warm-checkpoint hit speedup %.2fx below floor %.1fx",
+			cur.WarmCkptHitSpeedupX, minCkptSpeedup))
+	}
 	if base.InstrsPerSec <= 0 {
 		fmt.Println("benchcheck: no baseline, skipping regression check")
 		return
@@ -169,6 +203,14 @@ func checkSim(lines []benchLine, baselinePath, outPath string, maxRegress float6
 	if ratio < 1-maxRegress {
 		fatal(fmt.Errorf("benchcheck: simulator throughput regressed %.0f%% (limit %.0f%%)",
 			100*(1-ratio), 100*maxRegress))
+	}
+	if base.BBInstrsPerSec > 0 {
+		bbRatio := cur.BBInstrsPerSec / base.BBInstrsPerSec
+		fmt.Printf("benchcheck: bb throughput %.2fx of baseline (%.3g instrs/sec)\n", bbRatio, base.BBInstrsPerSec)
+		if bbRatio < 1-maxRegress {
+			fatal(fmt.Errorf("benchcheck: translated-engine throughput regressed %.0f%% (limit %.0f%%)",
+				100*(1-bbRatio), 100*maxRegress))
+		}
 	}
 }
 

@@ -1,12 +1,15 @@
 // simrun compiles a program and runs it on the cycle-level simulator at a
 // chosen microarchitectural configuration, reporting cycles, IPC, cache miss
 // rates and branch prediction accuracy. With -smarts it uses sampled
-// simulation and reports the estimate with its confidence interval.
+// simulation and reports the estimate with its confidence interval. -engine
+// selects the simulation engine (feed, fused or the basic-block translated
+// bb tier); all engines produce bit-identical results.
 //
 // Usage:
 //
 //	simrun -bench 181.mcf -config typical
 //	simrun -bench 179.art -O3 -config aggressive -smarts
+//	simrun -bench 179.art -engine fused
 //	simrun -src prog.mc -mem-lat 150 -dcache-kb 8
 //	simrun -bench 179.art -cpuprofile cpu.out -memprofile mem.out
 package main
@@ -36,6 +39,7 @@ func main() {
 		unroll  = flag.Bool("unroll", false, "additionally enable -funroll-loops")
 		cfgName = flag.String("config", "typical", "configuration: constrained|typical|aggressive")
 		useSam  = flag.Bool("smarts", false, "use SMARTS sampled simulation")
+		engine  = flag.String("engine", sim.EngineBB, "simulation engine: feed|fused|bb (all bit-identical)")
 		workers = flag.Int("workers", 1, "with -smarts: pool this many offset-shifted sample sets, drawn concurrently (0 = GOMAXPROCS)")
 		trace   = flag.Int64("trace", 0, "print pipeline timing for the first N instructions")
 		budget  = flag.Int64("max-instrs", 2_000_000_000, "instruction budget")
@@ -185,6 +189,7 @@ func main() {
 	}
 
 	var st sim.Stats
+	var es sim.EngineStats
 	if *trace > 0 {
 		exe := sim.NewExecutor(bin)
 		cpu := sim.NewCPU(cfg)
@@ -213,7 +218,7 @@ func main() {
 		st.ExitValue = exe.Regs[isa.RegRV]
 	} else {
 		var err error
-		st, err = sim.Simulate(bin, cfg, *budget)
+		st, es, err = sim.SimulateEngine(bin, cfg, *budget, *engine)
 		if err != nil {
 			fatal(err)
 		}
@@ -228,6 +233,10 @@ func main() {
 	fmt.Printf("  L2 misses:     %d / %d (%.2f%%)\n", st.L2Misses, st.L2Accesses, pct(st.L2Misses, st.L2Accesses))
 	fmt.Printf("  energy (a.u.): %.0f\n", st.Energy)
 	fmt.Printf("  exit value:    %d\n", st.ExitValue)
+	if *engine == sim.EngineBB && *trace == 0 {
+		fmt.Printf("  engine:        bb (%d blocks, %d translated instrs, %d slow-path entries)\n",
+			es.BlocksTranslated, es.TranslatedInstrs, es.SlowPathEntries)
+	}
 }
 
 func pct(a, b int64) float64 {

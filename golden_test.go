@@ -112,6 +112,118 @@ func TestGoldenSimulate(t *testing.T) {
 	}
 }
 
+// TestTranslatedMatchesFused pins the basic-block translated engine
+// bit-for-bit against the fused loop over the full golden workload/config
+// grid, and checks the translation actually ran (no silent slow-path
+// takeover).
+func TestTranslatedMatchesFused(t *testing.T) {
+	for _, wname := range goldenWorkloads {
+		w := workloads.MustGet(wname, workloads.Train)
+		prog, _, err := compiler.Compile(w.Parse(), compiler.O2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, gc := range goldenConfigs {
+			fused, _, err := sim.SimulateEngine(prog, gc.cfg(), 500_000_000, sim.EngineFused)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bb, es, err := sim.SimulateEngine(prog, gc.cfg(), 500_000_000, sim.EngineBB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bb != fused {
+				t.Errorf("%s: bb engine diverged:\n got %+v\nwant %+v", goldenKey(wname, gc.name), bb, fused)
+			}
+			if es.BlocksTranslated == 0 {
+				t.Errorf("%s: no blocks translated", goldenKey(wname, gc.name))
+			}
+			if es.TranslatedInstrs != fused.Instructions {
+				t.Errorf("%s: translated %d of %d instructions (slow-path entries: %d)",
+					goldenKey(wname, gc.name), es.TranslatedInstrs, fused.Instructions, es.SlowPathEntries)
+			}
+			if es.SlowPathEntries != 0 {
+				t.Errorf("%s: unexpected slow-path entries: %d", goldenKey(wname, gc.name), es.SlowPathEntries)
+			}
+		}
+	}
+}
+
+// TestWarmCheckpointRestoreEqualsRewarm pins checkpoint replay bit-for-bit
+// against full rewarming: a checkpoint set built under one configuration
+// must reproduce, for any configuration sharing its warm geometry, exactly
+// the Result a full functional-warming Run computes — while doing a small
+// fraction of the work (FunctionalInstrs is the only field allowed to
+// differ, and it must shrink).
+func TestWarmCheckpointRestoreEqualsRewarm(t *testing.T) {
+	s := smarts.Sampler{WindowSize: 500, Interval: 20, Warmup: 200}
+	build := sim.DefaultConfig()
+	// Same warm geometry as build, different everything else: the
+	// cross-configuration reuse the checkpoint key promises.
+	nearby := build
+	nearby.IssueWidth = 2
+	nearby.RUUSize = 16
+	nearby.DCacheLat = 3
+	nearby.L2Lat = 16
+	nearby.MemLat = 150
+
+	for _, wname := range []string{"179.art", "181.mcf"} {
+		w := workloads.MustGet(wname, workloads.Train)
+		prog, _, err := compiler.Compile(w.Parse(), compiler.O2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, off := range []int64{0, 7} {
+			sk := s
+			sk.Offset = off
+			store := smarts.NewStore(0)
+
+			// Miss: the build run must equal a plain Run in every field.
+			got, hit, err := smarts.RunCheckpointed(store, prog, build, sk, 500_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hit {
+				t.Errorf("%s offset %d: first run reported a checkpoint hit", wname, off)
+			}
+			want, err := smarts.Run(prog, build, sk, 500_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *got != *want {
+				t.Errorf("%s offset %d: build run diverged from Run:\n got %+v\nwant %+v", wname, off, got, want)
+			}
+
+			// Hit under a nearby configuration: equal to full rewarming in
+			// every field except the work done.
+			rewarm, err := smarts.Run(prog, nearby, sk, 500_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay, hit, err := smarts.RunCheckpointed(store, prog, nearby, sk, 500_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hit {
+				t.Errorf("%s offset %d: nearby run missed the checkpoint", wname, off)
+			}
+			cmp := *replay
+			cmp.FunctionalInstrs = rewarm.FunctionalInstrs
+			if cmp != *rewarm {
+				t.Errorf("%s offset %d: replay diverged from rewarm:\n got %+v\nwant %+v", wname, off, replay, rewarm)
+			}
+			if replay.FunctionalInstrs*2 >= rewarm.FunctionalInstrs {
+				t.Errorf("%s offset %d: replay did not skip warming: %d of %d functional instrs",
+					wname, off, replay.FunctionalInstrs, rewarm.FunctionalInstrs)
+			}
+			st := store.Stats()
+			if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+				t.Errorf("%s offset %d: store stats = %+v, want 1 hit / 1 miss / 1 entry", wname, off, st)
+			}
+		}
+	}
+}
+
 // TestGoldenSMARTS locks the sampled estimate bit-for-bit across offsets.
 func TestGoldenSMARTS(t *testing.T) {
 	update := os.Getenv("GOLDEN_UPDATE") != ""

@@ -3,6 +3,7 @@ package farm
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/doe"
 	"repro/internal/isa"
 	"repro/internal/sim"
+	"repro/internal/smarts"
 	"repro/internal/workloads"
 )
 
@@ -140,7 +142,9 @@ func (f *Farm) compileCached(w workloads.Workload, p doe.Point) (*isa.Program, s
 }
 
 // cachedExecutor is the farm's default MeasureFunc: Executor with the
-// compile stage served by the shared binary cache.
+// compile stage served by the shared binary cache. Detailed mode simulates
+// through the basic-block translated engine; sampled mode (Options.Sampler)
+// produces a SMARTS estimate through the warm-checkpoint store.
 func (f *Farm) cachedExecutor(ctx context.Context, job Job) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -152,10 +156,37 @@ func (f *Farm) cachedExecutor(ctx context.Context, job Job) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	st, err := sim.Simulate(prog, cfg, f.maxInstrs)
+	if f.sampler != nil {
+		res, hit, err := smarts.RunCheckpointed(f.ckpts, prog, cfg, *f.sampler, f.maxInstrs)
+		if err != nil {
+			budget := errors.Is(err, smarts.ErrBudget) || sim.IsBudget(err)
+			return Result{}, &SimError{Workload: job.Workload.Key(), Budget: budget, Err: err}
+		}
+		// One critical section per sampled sim: hits+misses == sampled in
+		// every Stats snapshot.
+		f.bump(func(s *counters) {
+			s.sampledSims++
+			if hit {
+				s.ckptHits++
+			} else {
+				s.ckptMisses++
+			}
+		})
+		return Result{
+			Cycles:       res.EstimatedCycles,
+			Energy:       res.EstimatedEnergy,
+			Instructions: res.Instructions,
+		}, nil
+	}
+	st, es, err := sim.SimulateEngine(prog, cfg, f.maxInstrs, sim.EngineBB)
 	if err != nil {
 		return Result{}, &SimError{Workload: job.Workload.Key(), Budget: sim.IsBudget(err), Err: err}
 	}
+	f.bump(func(s *counters) {
+		s.blocksTranslated += es.BlocksTranslated
+		s.translatedInstrs += es.TranslatedInstrs
+		s.slowPathEntries += es.SlowPathEntries
+	})
 	return Result{
 		Cycles:       float64(st.Cycles),
 		Energy:       st.Energy,

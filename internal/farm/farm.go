@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/doe"
+	"repro/internal/smarts"
 	"repro/internal/workloads"
 )
 
@@ -54,6 +55,18 @@ type Options struct {
 	// MaxConsumers caps the timing consumers sharing one functional
 	// interpretation in a batch group (0 = sim's default of 16).
 	MaxConsumers int
+	// Sampler, when non-nil, switches the default executor from detailed
+	// simulation to SMARTS sampled measurement backed by warm-state
+	// checkpoints: repeat measurements of one binary under configurations
+	// sharing a warm geometry replay only the detailed regions. Sampled
+	// results are estimates, so the farm's result store must not be shared
+	// with a detailed farm. Shared-trace grouping is disabled in this mode —
+	// the checkpoint store plays the same role across batches, not just
+	// within one.
+	Sampler *smarts.Sampler
+	// CheckpointCap bounds the warm-checkpoint store in sets
+	// (0 = smarts.DefaultStoreCap). Only used when Sampler is set.
+	CheckpointCap int
 	// Log receives progress and recovery lines; nil silences them.
 	Log io.Writer
 }
@@ -76,6 +89,11 @@ type Farm struct {
 	grouping     bool
 	maxInstrs    int64
 	maxConsumers int
+
+	// Sampled-measurement plane: non-nil sampler selects SMARTS estimates
+	// served through the warm-checkpoint store instead of detailed runs.
+	sampler *smarts.Sampler
+	ckpts   *smarts.Store
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -102,8 +120,13 @@ type counters struct {
 	compileHits, compileMisses     int64
 	traceShared, groups            int64
 	dispatched, hedged, requeued   int64
-	workerBusyNanos                []int64
-	workerJobs                     []int64
+	// Translated-engine counters (detailed mode, ungrouped sims).
+	blocksTranslated, translatedInstrs, slowPathEntries int64
+	// Sampled-mode counters: every sampled sim is either a checkpoint
+	// replay (hit) or a full build run (miss), so hits+misses == sampled.
+	sampledSims, ckptHits, ckptMisses int64
+	workerBusyNanos                   []int64
+	workerJobs                        []int64
 }
 
 // task is one in-flight execution; all callers for the same key share it.
@@ -160,9 +183,17 @@ func New(opts Options) *Farm {
 	}
 	f.bins = newBinaryCache(cacheSize)
 	f.compile = defaultCompile
+	f.sampler = opts.Sampler
+	if f.sampler != nil {
+		f.ckpts = smarts.NewStore(opts.CheckpointCap)
+	}
 	if f.measure == nil {
 		f.measure = f.cachedExecutor
-		f.grouping = true
+		// Shared-trace grouping and checkpointed sampling are alternative
+		// amortization schemes for the same redundancy (one binary, many
+		// configurations); in sampled mode the checkpoint store wins because
+		// it also spans batches and retries.
+		f.grouping = f.sampler == nil
 	}
 	if f.store == nil {
 		f.store = MemStore()
@@ -418,6 +449,16 @@ type Stats struct {
 	GroupsHedged     int64
 	GroupsRequeued   int64
 	WorkersLive      int64
+	// Engine-tier counters. The translated-engine trio moves only for
+	// ungrouped detailed sims (grouped sims ride the shared-trace path);
+	// the checkpoint trio moves only in sampled mode, where
+	// WarmCkptHits+WarmCkptMisses == SampledSims holds in every snapshot.
+	BlocksTranslated int64 // static blocks translated across executed sims
+	TranslatedInstrs int64 // dynamic instructions retired via translated blocks
+	SlowPathEntries  int64 // translated-engine falls back to the fused loop
+	SampledSims      int64 // sims measured by SMARTS sampling
+	WarmCkptHits     int64 // sampled sims served by warm-checkpoint replay
+	WarmCkptMisses   int64 // sampled sims that built a checkpoint set
 	WallTime         time.Duration
 	PerWorker        []WorkerStats
 }
@@ -470,6 +511,13 @@ func (f *Farm) Stats() Stats {
 		GroupsHedged:     f.st.hedged,
 		GroupsRequeued:   f.st.requeued,
 		WorkersLive:      int64(f.workers),
+
+		BlocksTranslated: f.st.blocksTranslated,
+		TranslatedInstrs: f.st.translatedInstrs,
+		SlowPathEntries:  f.st.slowPathEntries,
+		SampledSims:      f.st.sampledSims,
+		WarmCkptHits:     f.st.ckptHits,
+		WarmCkptMisses:   f.st.ckptMisses,
 	}
 	st.PerWorker = make([]WorkerStats, f.workers)
 	for i := range st.PerWorker {

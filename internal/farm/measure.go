@@ -91,7 +91,7 @@ func Executor(maxInstrs int64) MeasureFunc {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		st, err := sim.Simulate(prog, cfg, maxInstrs)
+		st, _, err := sim.SimulateEngine(prog, cfg, maxInstrs, sim.EngineBB)
 		if err != nil {
 			// Classify on the typed Budget flag, never on the message text:
 			// a rewording of the fault message must not silently turn a

@@ -1,0 +1,196 @@
+package farm
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/doe"
+	"repro/internal/sim"
+	"repro/internal/smarts"
+)
+
+// testSampler is small enough that the tiny workload produces a healthy
+// number of detailed windows.
+func testSampler() smarts.Sampler {
+	return smarts.Sampler{WindowSize: 200, Interval: 10, Warmup: 100}
+}
+
+// memLatVariants returns configurations sharing one binary (same issue
+// width) and one warm geometry, differing only in a pure timing parameter —
+// exactly the redundancy warm checkpoints amortize.
+func memLatVariants(lats ...int) []sim.Config {
+	cfgs := make([]sim.Config, len(lats))
+	for i, l := range lats {
+		c := sim.DefaultConfig()
+		c.MemLat = l
+		cfgs[i] = c
+	}
+	return cfgs
+}
+
+// TestSampledFarmMatchesDirect pins the sampled farm mode to the direct
+// smarts path: every measurement must be bit-for-bit the estimate
+// smarts.Run produces, whether it was built fresh or replayed from a warm
+// checkpoint, and the counters must account for every sampled sim.
+func TestSampledFarmMatchesDirect(t *testing.T) {
+	s := testSampler()
+	f := New(Options{Workers: 2, Sampler: &s})
+	defer f.Close()
+	w := tinyWorkload()
+	o2 := compiler.O2()
+
+	for i, cfg := range memLatVariants(100, 60, 150) {
+		p := jointPoint(o2, cfg)
+		got, err := f.Measure(context.Background(), w, p, Cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, _, err := compiler.Compile(w.Parse(), doe.ToOptions(p, cfg.IssueWidth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := smarts.Run(prog, cfg, s, 500_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Windows == 0 {
+			t.Fatal("workload produced no sample windows; enlarge it or shrink the sampler")
+		}
+		if got != want.EstimatedCycles {
+			t.Errorf("variant %d: farm estimate %v != direct estimate %v", i, got, want.EstimatedCycles)
+		}
+		gotE, err := f.Measure(context.Background(), w, p, Energy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotE != want.EstimatedEnergy {
+			t.Errorf("variant %d: farm energy %v != direct energy %v", i, gotE, want.EstimatedEnergy)
+		}
+	}
+
+	st := f.Stats()
+	if st.SampledSims != 3 {
+		t.Errorf("SampledSims = %d, want 3", st.SampledSims)
+	}
+	if st.WarmCkptMisses != 1 || st.WarmCkptHits != 2 {
+		t.Errorf("checkpoint traffic = %d hits / %d misses, want 2/1 (one build, two replays)",
+			st.WarmCkptHits, st.WarmCkptMisses)
+	}
+	if st.BinaryGroups != 0 || st.TraceSharedSims != 0 {
+		t.Errorf("shared-trace grouping ran in sampled mode: %+v", st)
+	}
+	if st.BlocksTranslated != 0 || st.TranslatedInstrs != 0 {
+		t.Errorf("translated-engine counters moved in sampled mode: %+v", st)
+	}
+}
+
+// TestSampledBatchDisablesGrouping submits a same-binary batch in sampled
+// mode and checks the planner degraded to per-job execution with the
+// checkpoint store carrying the redundancy instead.
+func TestSampledBatchDisablesGrouping(t *testing.T) {
+	s := testSampler()
+	f := New(Options{Workers: 4, Sampler: &s})
+	defer f.Close()
+	w := tinyWorkload()
+	o2 := compiler.O2()
+	var points []doe.Point
+	for _, cfg := range memLatVariants(50, 80, 110, 140) {
+		points = append(points, jointPoint(o2, cfg))
+	}
+	vals, err := f.MeasureBatch(context.Background(), w, points, Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v <= 0 {
+			t.Errorf("point %d: nonpositive estimate %v", i, v)
+		}
+	}
+	st := f.Stats()
+	if st.BinaryGroups != 0 || st.TraceSharedSims != 0 {
+		t.Errorf("sampled batch formed shared-trace groups: %+v", st)
+	}
+	if st.SampledSims != 4 {
+		t.Errorf("SampledSims = %d, want 4", st.SampledSims)
+	}
+	// Workers race for the first checkpoint build, so several can miss and
+	// build concurrently; what is guaranteed is full accounting and at
+	// least one build.
+	if st.WarmCkptHits+st.WarmCkptMisses != st.SampledSims || st.WarmCkptMisses < 1 {
+		t.Errorf("checkpoint traffic = %d hits / %d misses for %d sampled sims",
+			st.WarmCkptHits, st.WarmCkptMisses, st.SampledSims)
+	}
+}
+
+// TestSampledStatsConsistentUnderLoad hammers the sampled pipeline while
+// readers assert the checkpoint counters are never observed torn: every
+// sampled sim is exactly one checkpoint hit or miss (the pair is bumped in
+// one critical section), and sims complete only after their sampled
+// accounting (a completed sim can never outrun SampledSims).
+func TestSampledStatsConsistentUnderLoad(t *testing.T) {
+	s := testSampler()
+	f := New(Options{Workers: 4, Sampler: &s})
+	defer f.Close()
+	w := tinyWorkload()
+
+	stop := make(chan struct{})
+	torn := make(chan string, 1)
+	report := func(msg string) {
+		select {
+		case torn <- msg:
+		default:
+		}
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := f.Stats()
+				if st.WarmCkptHits+st.WarmCkptMisses != st.SampledSims {
+					report("torn snapshot: checkpoint hits+misses != sampled sims")
+					return
+				}
+				if st.SimsExecuted > st.SampledSims {
+					report("torn snapshot: completed sims outran sampled accounting")
+					return
+				}
+				if st.BlocksTranslated != 0 {
+					report("translated-engine counter moved in sampled mode")
+					return
+				}
+			}
+		}()
+	}
+
+	o2, o3 := compiler.O2(), compiler.O3()
+	for round := 0; round < 3; round++ {
+		var points []doe.Point
+		for i, cfg := range memLatVariants(50, 90, 120) {
+			cfg.MemLat += 5 * ((round + i) % 7)
+			points = append(points, jointPoint(o2, cfg), jointPoint(o3, cfg))
+		}
+		if _, err := f.MeasureBatch(context.Background(), w, points, Cycles); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+	select {
+	case msg := <-torn:
+		t.Fatal(msg)
+	default:
+	}
+	st := f.Stats()
+	if st.WarmCkptHits == 0 {
+		t.Fatalf("no checkpoint replays under load: %+v", st)
+	}
+}

@@ -639,6 +639,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("groups_hedged_total", st.GroupsHedged)
 		emit("groups_requeued_total", st.GroupsRequeued)
 		emit("workers_live", st.WorkersLive)
+		emit("blocks_translated_total", st.BlocksTranslated)
+		emit("translated_instrs_total", st.TranslatedInstrs)
+		emit("slow_path_entries_total", st.SlowPathEntries)
+		emit("sampled_sims_total", st.SampledSims)
+		emit("warm_ckpt_hits_total", st.WarmCkptHits)
+		emit("warm_ckpt_misses_total", st.WarmCkptMisses)
 	}
 }
 

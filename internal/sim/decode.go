@@ -1,6 +1,10 @@
 package sim
 
-import "repro/internal/isa"
+import (
+	"sync"
+
+	"repro/internal/isa"
+)
 
 // instrMeta is the pre-decoded, cache-friendly form of one static
 // instruction: everything the timing model needs per dynamic instance
@@ -93,6 +97,16 @@ func decodeInstr(in *isa.Instr, pc int32) instrMeta {
 type DecodedProgram struct {
 	Prog *isa.Program
 	meta []instrMeta
+
+	trOnce sync.Once
+	tr     *translation
+}
+
+// translation returns the program's basic-block translation, built lazily on
+// the first translated run and shared read-only afterwards.
+func (d *DecodedProgram) translation() *translation {
+	d.trOnce.Do(func() { d.tr = buildTranslation(d) })
+	return d.tr
 }
 
 // Decode builds the metadata table for p.

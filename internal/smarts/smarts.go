@@ -60,6 +60,11 @@ type Result struct {
 	// interval on the mean CPI.
 	RelCI997  float64
 	ExitValue int64
+	// MeanEPI and EstimatedEnergy extend the estimator to the energy
+	// response the same way MeanCPI extends to cycles: per-window energy
+	// per instruction, scaled by the whole-run instruction count.
+	MeanEPI         float64
+	EstimatedEnergy float64
 	// FunctionalInstrs counts the instructions executed functionally to
 	// drive warming and sampling. Run executes the program once, so it
 	// equals Instructions; RunParallel shares a single functional trace
@@ -80,10 +85,12 @@ type sampleState struct {
 	cpu *sim.CPU
 	dec *sim.DecodedProgram
 
-	cpis         []float64
-	inDetail     bool
-	measureStart int64
-	windowInstrs int64
+	cpis          []float64
+	epis          []float64 // per-window energy per instruction
+	inDetail      bool
+	measureStart  int64
+	measureStartE float64
+	windowInstrs  int64
 
 	// Division-free classification: phase is the instruction index modulo
 	// the sampling period, and the measured window is phase in
@@ -109,10 +116,17 @@ func newSampleState(s Sampler, cfg sim.Config, dec *sim.DecodedProgram) *sampleS
 
 // feed advances the state machine by one committed instruction.
 func (t *sampleState) feed(entry sim.TraceEntry) {
-	// classify: measured iff phase lies in the detailed window; detailed
-	// (but unmeasured) iff within Warmup instructions before the next
-	// detailed window, wrapping across the period boundary.
-	detailed, measured := false, false
+	detailed, measured := t.classifyAdvance()
+	t.apply(entry, detailed, measured)
+}
+
+// classifyAdvance classifies the next instruction — measured iff its phase
+// lies in the detailed window; detailed (but unmeasured) iff within Warmup
+// instructions before the next detailed window, wrapping across the period
+// boundary — and advances the phase counter. Split from apply so the
+// checkpoint builder can observe the classification of an instruction
+// before its state transition happens.
+func (t *sampleState) classifyAdvance() (detailed, measured bool) {
 	ph := t.phase
 	if ph >= t.mStart && ph < t.mEnd {
 		detailed, measured = true, true
@@ -128,7 +142,11 @@ func (t *sampleState) feed(entry sim.TraceEntry) {
 	if t.phase++; t.phase == t.period {
 		t.phase = 0
 	}
+	return detailed, measured
+}
 
+// apply performs the state transition for one classified instruction.
+func (t *sampleState) apply(entry sim.TraceEntry, detailed, measured bool) {
 	if detailed {
 		if !t.inDetail {
 			// Fresh pipeline over the warmed microarch state.
@@ -137,7 +155,9 @@ func (t *sampleState) feed(entry sim.TraceEntry) {
 			t.measureStart = -1
 		}
 		if measured && t.measureStart < 0 {
-			t.measureStart = t.cpu.Stats().Cycles
+			st := t.cpu.Stats()
+			t.measureStart = st.Cycles
+			t.measureStartE = st.Energy
 		}
 		t.cpu.FeedDecoded(t.dec, entry)
 		if measured {
@@ -154,8 +174,10 @@ func (t *sampleState) feed(entry sim.TraceEntry) {
 
 func (t *sampleState) flush() {
 	if t.windowInstrs > 0 {
-		c := t.cpu.Stats().Cycles - t.measureStart
+		st := t.cpu.Stats()
+		c := st.Cycles - t.measureStart
 		t.cpis = append(t.cpis, float64(c)/float64(t.windowInstrs))
+		t.epis = append(t.epis, (st.Energy-t.measureStartE)/float64(t.windowInstrs))
 	}
 	t.windowInstrs = 0
 	t.inDetail = false
@@ -173,6 +195,7 @@ func (t *sampleState) result(instrs, exitValue int64) (*Result, bool) {
 	if mean > 0 {
 		rel = 3 * std / (math.Sqrt(float64(len(t.cpis))) * mean)
 	}
+	meanE, _ := meanStd(t.epis)
 	return &Result{
 		EstimatedCycles: mean * float64(instrs),
 		Instructions:    instrs,
@@ -181,6 +204,8 @@ func (t *sampleState) result(instrs, exitValue int64) (*Result, bool) {
 		StdCPI:          std,
 		RelCI997:        rel,
 		ExitValue:       exitValue,
+		MeanEPI:         meanE,
+		EstimatedEnergy: meanE * float64(instrs),
 	}, true
 }
 
@@ -197,9 +222,15 @@ func fallbackDetailed(prog *isa.Program, cfg sim.Config, maxInstrs int64) (*Resu
 		Windows:          0,
 		MeanCPI:          float64(st.Cycles) / float64(st.Instructions),
 		ExitValue:        st.ExitValue,
+		MeanEPI:          st.Energy / float64(st.Instructions),
+		EstimatedEnergy:  st.Energy,
 		FunctionalInstrs: st.Instructions,
 	}, nil
 }
+
+// ErrBudget reports a sampled run that exceeded its instruction budget.
+// Callers classify on the sentinel (errors.Is), never on the message text.
+var ErrBudget = errors.New("smarts: instruction budget exceeded")
 
 // Run simulates prog under cfg with systematic sampling and returns the
 // cycle estimate. maxInstrs bounds the run.
@@ -215,7 +246,7 @@ func Run(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64) (*Result
 
 	for !exe.Halted {
 		if exe.Count >= maxInstrs {
-			return nil, errors.New("smarts: instruction budget exceeded")
+			return nil, ErrBudget
 		}
 		entry, ok, err := exe.Step()
 		if err != nil {
@@ -297,7 +328,7 @@ func RunParallel(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64, 
 	wg.Wait()
 	if prodErr != nil {
 		if sim.IsBudget(prodErr) {
-			return nil, errors.New("smarts: instruction budget exceeded")
+			return nil, ErrBudget
 		}
 		return nil, prodErr
 	}
@@ -316,13 +347,14 @@ func RunParallel(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64, 
 	// Pool the window populations: weighted mean and total variance
 	// (within + between run means) over all windows.
 	var n float64
-	var sum, sumSq float64
+	var sum, sumSq, sumE float64
 	pooled := &Result{Instructions: results[0].Instructions, ExitValue: results[0].ExitValue}
 	for _, r := range results {
 		w := float64(r.Windows)
 		n += w
 		sum += w * r.MeanCPI
 		sumSq += w * (r.StdCPI*r.StdCPI + r.MeanCPI*r.MeanCPI)
+		sumE += w * r.MeanEPI
 		pooled.Windows += r.Windows
 	}
 	pooled.MeanCPI = sum / n
@@ -331,6 +363,8 @@ func RunParallel(prog *isa.Program, cfg sim.Config, s Sampler, maxInstrs int64, 
 		pooled.RelCI997 = 3 * pooled.StdCPI / (math.Sqrt(n) * pooled.MeanCPI)
 	}
 	pooled.EstimatedCycles = pooled.MeanCPI * float64(pooled.Instructions)
+	pooled.MeanEPI = sumE / n
+	pooled.EstimatedEnergy = pooled.MeanEPI * float64(pooled.Instructions)
 	pooled.FunctionalInstrs = exe.Count // the single shared pass
 	return pooled, nil
 }
