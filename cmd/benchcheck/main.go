@@ -44,6 +44,14 @@
 //	go test -run '^$' -bench 'DistributedSweep$' -benchtime=1x . |
 //	    go run ./cmd/benchcheck -set dist -baseline BENCH_dist.json -out BENCH_dist.json
 //
+//	-set serve: the prediction plane's serving SLO, fed by cmd/loadgen
+//	    instead of `go test -bench`. Gated on hard caps for the p99
+//	    latency (-max-p99-ms) and error rate (-max-err-rate) — the SLO —
+//	    plus a baseline regression check on p99.
+//
+//	loadgen -addr http://127.0.0.1:8081 -duration 10s |
+//	    go run ./cmd/benchcheck -set serve -baseline BENCH_serve.json -out BENCH_serve.json
+//
 // Regenerate a baseline by committing the freshly written file.
 package main
 
@@ -103,6 +111,22 @@ type FarmNumbers struct {
 	Points float64 `json:"points"`
 }
 
+// ServeNumbers is the schema of BENCH_serve.json, parsed from cmd/loadgen's
+// BenchmarkServeLoadgen line.
+type ServeNumbers struct {
+	// RPS is serving throughput (requests per second), recorded for
+	// context but not gated: it is core-count dependent.
+	RPS float64 `json:"rps"`
+	// P50Ms/P95Ms/P99Ms are latency percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	// P99Ms carries the SLO: hard-capped by -max-p99-ms and gated against
+	// the baseline by -max-regress.
+	P99Ms float64 `json:"p99_ms"`
+	// ErrRate is the non-200 fraction, hard-capped by -max-err-rate.
+	ErrRate float64 `json:"err_rate"`
+}
+
 // DistNumbers is the schema of BENCH_dist.json.
 type DistNumbers struct {
 	// TwoWorkerMs is wall-clock milliseconds for the sweep through a
@@ -125,6 +149,8 @@ func main() {
 	minDistSpeedup := flag.Float64("min-dist-speedup", 1.7, "hard floor on the dist set's dist_speedup_x")
 	minBBSpeedup := flag.Float64("min-bb-speedup", 0.97, "floor on the sim set's bb_vs_fused_x (parity minus host jitter)")
 	minCkptSpeedup := flag.Float64("min-ckpt-speedup", 2, "hard floor on the sim set's warm_checkpoint_hit_speedup")
+	maxP99 := flag.Float64("max-p99-ms", 250, "hard cap on the serve set's p99_ms (the SLO)")
+	maxErrRate := flag.Float64("max-err-rate", 0.01, "hard cap on the serve set's err_rate")
 	flag.Parse()
 
 	def := "BENCH_" + *set + ".json"
@@ -148,8 +174,10 @@ func main() {
 		checkFarm(lines, *baselinePath, *outPath, *maxRegress, *minSharedSpeedup)
 	case "dist":
 		checkDist(lines, *baselinePath, *outPath, *maxRegress, *minDistSpeedup)
+	case "serve":
+		checkServe(lines, *baselinePath, *outPath, *maxRegress, *maxP99, *maxErrRate)
 	default:
-		fatal(fmt.Errorf("benchcheck: unknown -set %q (sim|model|farm|dist)", *set))
+		fatal(fmt.Errorf("benchcheck: unknown -set %q (sim|model|farm|dist|serve)", *set))
 	}
 }
 
@@ -344,6 +372,46 @@ func checkDist(lines []benchLine, baselinePath, outPath string, maxRegress, minD
 	fmt.Printf("benchcheck: two_worker_ms %.2fx of baseline (%.0fms)\n", ratio, base.TwoWorkerMs)
 	if ratio > 1+maxRegress {
 		fatal(fmt.Errorf("benchcheck: two_worker_ms regressed %.0f%% (limit %.0f%%)",
+			100*(ratio-1), 100*maxRegress))
+	}
+}
+
+func checkServe(lines []benchLine, baselinePath, outPath string, maxRegress, maxP99, maxErrRate float64) {
+	cur := &ServeNumbers{}
+	var have bool
+	for _, l := range lines {
+		if strings.HasPrefix(l.name, "BenchmarkServeLoadgen") {
+			cur.RPS = l.metrics["rps"]
+			cur.P50Ms = l.metrics["p50-ms"]
+			cur.P95Ms = l.metrics["p95-ms"]
+			cur.P99Ms = l.metrics["p99-ms"]
+			cur.ErrRate = l.metrics["err-rate"]
+			have = true
+		}
+	}
+	if !have {
+		fatal(fmt.Errorf("benchcheck: serve set needs BenchmarkServeLoadgen (cmd/loadgen output), not found in input"))
+	}
+
+	base := &ServeNumbers{}
+	writeAndLoadBaseline(cur, base, baselinePath, outPath)
+	fmt.Printf("benchcheck: %.0f req/s, p50 %.2fms p95 %.2fms p99 %.2fms, err rate %.4f\n",
+		cur.RPS, cur.P50Ms, cur.P95Ms, cur.P99Ms, cur.ErrRate)
+	// The SLO itself: hard caps that hold regardless of baseline history.
+	if cur.P99Ms > maxP99 {
+		fatal(fmt.Errorf("benchcheck: serve p99 %.2fms above SLO cap %.0fms", cur.P99Ms, maxP99))
+	}
+	if cur.ErrRate > maxErrRate {
+		fatal(fmt.Errorf("benchcheck: serve error rate %.4f above cap %.4f", cur.ErrRate, maxErrRate))
+	}
+	if base.P99Ms <= 0 {
+		fmt.Println("benchcheck: no baseline, skipping regression check")
+		return
+	}
+	ratio := cur.P99Ms / base.P99Ms
+	fmt.Printf("benchcheck: p99_ms %.2fx of baseline (%.2fms)\n", ratio, base.P99Ms)
+	if ratio > 1+maxRegress {
+		fatal(fmt.Errorf("benchcheck: serve p99 regressed %.0f%% (limit %.0f%%)",
 			100*(ratio-1), 100*maxRegress))
 	}
 }

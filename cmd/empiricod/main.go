@@ -12,8 +12,15 @@
 //	POST /v1/measure   ground truth (compile + simulate), coalesced
 //	POST /v1/search    GA flag search, streamed generation-by-generation
 //	GET  /v1/rank      significant-term ranking of the fitted model
+//	POST /v1/reload    rescan the artifact directory (also on SIGHUP)
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus text exposition
+//
+// With -artifacts DIR every fitted model set is persisted and the daemon
+// warm-boots from the directory; with -replica it serves predictions from
+// those artifacts only (no farm, no training) — run one writer and any
+// number of replicas over a shared directory. SIGHUP (or POST /v1/reload)
+// swaps freshly persisted artifacts in without a restart.
 //
 // The daemon drains in-flight requests on SIGINT/SIGTERM, then checkpoints
 // the measurement store before exiting.
@@ -25,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, mounted only with -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +56,9 @@ func main() {
 		burst    = flag.Float64("burst", 0, "per-endpoint burst (0 = 100)")
 		inflight = flag.Int("max-inflight", 0, "concurrent requests before shedding (0 = 256)")
 		train    = flag.Int("train", 0, "override training-design size (0 = scale default; smoke tests)")
+		artDir   = flag.String("artifacts", "", "directory for persisted model artifacts (warm boot + reload)")
+		replica  = flag.Bool("replica", false, "serve predictions from persisted artifacts only (requires -artifacts; no farm, no training)")
+		pprof    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for HTTP handlers")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain timeout for in-flight measurement leases")
 		waddrs   = flag.String("workers-addrs", "", "comma-separated empirico-worker addresses; measurements shard across them instead of running in-process")
@@ -55,12 +66,17 @@ func main() {
 	)
 	flag.Parse()
 
+	if *replica && *artDir == "" {
+		fatal(fmt.Errorf("-replica requires -artifacts"))
+	}
 	opts := serve.Options{
 		Scale:          *scale,
 		CacheDir:       *cacheDir,
 		Workers:        *workers,
 		TrainPoints:    *train,
 		MaxModels:      *models,
+		ArtifactDir:    *artDir,
+		Replica:        *replica,
 		CoalesceWindow: *window,
 		RatePerSec:     *rate,
 		RateBurst:      *burst,
@@ -83,10 +99,37 @@ func main() {
 		}
 	}
 	srv := serve.New(opts)
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprof {
+		// net/http/pprof registers on DefaultServeMux; expose it only when
+		// asked — profiling endpoints are an operator tool, not part of the
+		// public API surface.
+		root := http.NewServeMux()
+		root.Handle("/debug/pprof/", http.DefaultServeMux)
+		root.Handle("/", handler)
+		handler = root
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *artDir != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				loaded, skipped, err := srv.ReloadArtifacts()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "empiricod: reload:", err)
+					continue
+				}
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "empiricod: reload: %d artifacts loaded, %d skipped\n", loaded, skipped)
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -123,11 +123,21 @@ func (s *Space) Index(name string) int {
 
 // Code maps a raw point to coded coordinates.
 func (s *Space) Code(p Point) []float64 {
-	out := make([]float64, len(s.Vars))
-	for i, v := range s.Vars {
-		out[i] = v.Code(p[i])
+	return s.CodeInto(p, make([]float64, len(s.Vars)))
+}
+
+// CodeInto is Code writing into dst (grown if needed), for callers that
+// reuse a buffer across points — the service's predict hot path. Returns
+// the slice holding the coded coordinates.
+func (s *Space) CodeInto(p Point, dst []float64) []float64 {
+	if cap(dst) < len(s.Vars) {
+		dst = make([]float64, len(s.Vars))
 	}
-	return out
+	dst = dst[:len(s.Vars)]
+	for i, v := range s.Vars {
+		dst[i] = v.Code(p[i])
+	}
+	return dst
 }
 
 // Decode snaps coded coordinates back to raw levels.

@@ -1,0 +1,32 @@
+package model
+
+import (
+	"testing"
+)
+
+// TestPredictScratchBitIdentical pins the hot-path guarantee: PredictWith
+// over a reused scratch buffer returns exactly what Predict returns, for
+// every production model kind.
+func TestPredictScratchBitIdentical(t *testing.T) {
+	ds := synthDataset(t, 5, 60, 6)
+	kinds := fitAllKinds(t, ds)
+	probes := synthDataset(t, 6, 40, 6)
+	for kind, m := range kinds {
+		scratch := make([]float64, ScratchLen(m))
+		for i, x := range probes.X {
+			want := m.Predict(x)
+			got := PredictWith(m, x, scratch)
+			if want != got {
+				t.Fatalf("%s: probe %d: PredictWith %v != Predict %v", kind, i, got, want)
+			}
+		}
+	}
+	// The linear model really is the allocating kind the seam exists for.
+	if ScratchLen(kinds["linear"]) == 0 {
+		t.Fatal("linear model reports no scratch need")
+	}
+	// Non-allocating kinds need no scratch and still work with nil.
+	if got, want := PredictWith(kinds["mars-raw"], probes.X[0], nil), kinds["mars-raw"].Predict(probes.X[0]); got != want {
+		t.Fatalf("nil-scratch PredictWith %v != Predict %v", got, want)
+	}
+}

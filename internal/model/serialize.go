@@ -1,0 +1,184 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// SchemaVersion is the artifact wire-format version this package writes.
+// Decode rejects any other version with *SchemaError: coefficients are
+// meaningless without the exact basis/kernel semantics of the code that
+// fitted them, so a version bump must invalidate persisted artifacts
+// instead of silently misreading them.
+const SchemaVersion = 1
+
+// SchemaError reports a persisted model whose schema version this build
+// does not understand.
+type SchemaError struct {
+	Got int
+}
+
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("model: unknown artifact schema version %d (this build reads %d)", e.Got, SchemaVersion)
+}
+
+// CodecError reports a structurally invalid serialized model (bad kind tag,
+// missing payload, malformed JSON). Unlike *SchemaError it means the bytes
+// were never a valid artifact, not that they come from a different version.
+type CodecError struct {
+	Reason string
+}
+
+func (e *CodecError) Error() string { return "model: decode: " + e.Reason }
+
+// envelope is the serialized form of a fitted model: a schema version, a
+// kind tag, and exactly one populated payload. LogModel and HybridRBFModel
+// nest recursively. All fitted kinds are small coefficient sets — linear
+// terms, MARS hinge bases and knots, RBF centers/radii/weights — so JSON is
+// compact enough, and Go's float64 round-trips bit-exactly through its
+// shortest-decimal encoding, which the bit-identical-prediction guarantee
+// relies on.
+type envelope struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+
+	Linear *LinearModel    `json:"linear,omitempty"`
+	MARS   *MARSModel      `json:"mars,omitempty"`
+	RBF    *RBFModel       `json:"rbf,omitempty"`
+	Hybrid *hybridEnvelope `json:"hybrid,omitempty"`
+	Log    *envelope       `json:"log,omitempty"`
+}
+
+// hybridEnvelope serializes HybridRBFModel's two halves.
+type hybridEnvelope struct {
+	Trend    *MARSModel `json:"trend"`
+	Residual *RBFModel  `json:"residual"`
+}
+
+// finiteOr0 maps non-finite fit diagnostics to 0 for the wire: JSON has no
+// Inf/NaN encoding, and a saturated fit's BIC/GCV is +Inf by construction
+// (Equation 9 when samples <= parameters). The scores are selection-time
+// metadata — prediction never reads them — so coercing them loses nothing
+// the serving path needs.
+func finiteOr0(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+func sanitizeLinear(m *LinearModel) *LinearModel {
+	c := *m
+	c.TrainSSE = finiteOr0(m.TrainSSE)
+	return &c
+}
+
+func sanitizeMARS(m *MARSModel) *MARSModel {
+	c := *m
+	c.GCVScore = finiteOr0(m.GCVScore)
+	c.TrainSSE = finiteOr0(m.TrainSSE)
+	return &c
+}
+
+func sanitizeRBF(m *RBFModel) *RBFModel {
+	c := *m
+	c.BICScore = finiteOr0(m.BICScore)
+	c.TrainSSE = finiteOr0(m.TrainSSE)
+	return &c
+}
+
+// wrap builds the envelope tree for a fitted model.
+func wrap(m Model) (*envelope, error) {
+	e := &envelope{Schema: SchemaVersion}
+	switch t := m.(type) {
+	case *LinearModel:
+		e.Kind, e.Linear = "linear", sanitizeLinear(t)
+	case *MARSModel:
+		e.Kind, e.MARS = "mars", sanitizeMARS(t)
+	case *RBFModel:
+		e.Kind, e.RBF = "rbf", sanitizeRBF(t)
+	case *HybridRBFModel:
+		e.Kind, e.Hybrid = "hybrid", &hybridEnvelope{
+			Trend: sanitizeMARS(t.Trend), Residual: sanitizeRBF(t.Residual),
+		}
+	case LogModel:
+		inner, err := wrap(t.Inner)
+		if err != nil {
+			return nil, err
+		}
+		e.Kind, e.Log = "log", inner
+	default:
+		return nil, fmt.Errorf("model: cannot serialize %T", m)
+	}
+	return e, nil
+}
+
+// unwrap reconstructs the model an envelope tree describes.
+func unwrap(e *envelope) (Model, error) {
+	if e.Schema != SchemaVersion {
+		return nil, &SchemaError{Got: e.Schema}
+	}
+	switch e.Kind {
+	case "linear":
+		if e.Linear == nil || len(e.Linear.Coef) == 0 {
+			return nil, &CodecError{Reason: "linear payload missing or empty"}
+		}
+		return e.Linear, nil
+	case "mars":
+		if e.MARS == nil || len(e.MARS.Coef) != len(e.MARS.Bases) || len(e.MARS.Coef) == 0 {
+			return nil, &CodecError{Reason: "mars payload missing or basis/coef length mismatch"}
+		}
+		return e.MARS, nil
+	case "rbf":
+		if e.RBF == nil || len(e.RBF.W) != 1+len(e.RBF.Centers) || len(e.RBF.Radii) != len(e.RBF.Centers) {
+			return nil, &CodecError{Reason: "rbf payload missing or center/radius/weight length mismatch"}
+		}
+		return e.RBF, nil
+	case "hybrid":
+		if e.Hybrid == nil || e.Hybrid.Trend == nil || e.Hybrid.Residual == nil {
+			return nil, &CodecError{Reason: "hybrid payload missing a half"}
+		}
+		trend, err := unwrap(&envelope{Schema: e.Schema, Kind: "mars", MARS: e.Hybrid.Trend})
+		if err != nil {
+			return nil, err
+		}
+		resid, err := unwrap(&envelope{Schema: e.Schema, Kind: "rbf", RBF: e.Hybrid.Residual})
+		if err != nil {
+			return nil, err
+		}
+		return &HybridRBFModel{Trend: trend.(*MARSModel), Residual: resid.(*RBFModel)}, nil
+	case "log":
+		if e.Log == nil {
+			return nil, &CodecError{Reason: "log payload missing"}
+		}
+		inner, err := unwrap(e.Log)
+		if err != nil {
+			return nil, err
+		}
+		return LogModel{Inner: inner}, nil
+	}
+	return nil, &CodecError{Reason: fmt.Sprintf("unknown model kind %q", e.Kind)}
+}
+
+// Encode serializes a fitted model (any of this package's kinds, including
+// the LogModel and HybridRBFModel wrappers) into its versioned wire form.
+func Encode(m Model) (json.RawMessage, error) {
+	e, err := wrap(m)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(e)
+}
+
+// Decode reconstructs a fitted model from Encode's output. The decoded
+// model predicts bit-identically to the one that was encoded. A different
+// schema version fails with *SchemaError; structurally invalid bytes fail
+// with *CodecError.
+func Decode(data []byte) (Model, error) {
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, &CodecError{Reason: err.Error()}
+	}
+	return unwrap(&e)
+}

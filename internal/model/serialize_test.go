@@ -1,0 +1,199 @@
+package model
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/doe"
+)
+
+// synthDataset builds a deterministic dataset with the shape the harness
+// produces: coded points in [-1,1] and a positive, multiplicative-ish
+// response with threshold structure, so MARS finds knots and the hybrid RBF
+// has residual signal to model.
+func synthDataset(t *testing.T, seed int64, n, dim int) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, dim)
+		for d := range x {
+			// Discrete levels, as coded design points have.
+			x[d] = -1 + 0.5*float64(rng.Intn(5))
+		}
+		xs[i] = x
+		y := 3.0 + 1.5*x[0] - 0.8*x[1] + 0.6*x[0]*x[1]
+		if x[2] > 0.25 {
+			y += 1.2 * (x[2] - 0.25)
+		}
+		y += 0.05 * rng.NormFloat64()
+		ys[i] = math.Exp(y) // positive response, log-space friendly
+	}
+	ds, err := NewDataset(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// fitAllKinds mirrors the registry's production fit (exp.FitAllParallel):
+// interaction linear on the raw response, MARS and hybrid RBF-RT on the log
+// response, raw MARS for interpretation.
+func fitAllKinds(t *testing.T, ds *Dataset) map[string]Model {
+	t.Helper()
+	lin, err := FitLinear(ds, doe.ExpandInteractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mars, err := FitMARS(LogDataset(ds), MARSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := FitHybridRBF(LogDataset(ds), MARSOptions{}, RBFOptions{Kernel: Multiquadric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marsRaw, err := FitMARS(ds, MARSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Model{
+		"linear":   lin,
+		"mars":     LogModel{Inner: mars},
+		"rbf":      LogModel{Inner: hy},
+		"mars-raw": marsRaw,
+	}
+}
+
+// TestSerializeRoundTripBitIdentical is the artifact-format property test:
+// for every production model kind, across a 3x3 grid of synthetic
+// "workloads" (seeds) and "scales" (sizes), encode→decode→predict must be
+// bit-identical to the in-memory model at fresh probe points.
+func TestSerializeRoundTripBitIdentical(t *testing.T) {
+	const dim = 6
+	seeds := []int64{11, 22, 33}
+	sizes := []int{40, 80, 120}
+	for _, seed := range seeds {
+		for _, n := range sizes {
+			t.Run(fmt.Sprintf("seed%d_n%d", seed, n), func(t *testing.T) {
+				ds := synthDataset(t, seed, n, dim)
+				kinds := fitAllKinds(t, ds)
+				probes := synthDataset(t, seed+1000, 50, dim)
+				for kind, m := range kinds {
+					data, err := Encode(m)
+					if err != nil {
+						t.Fatalf("%s: encode: %v", kind, err)
+					}
+					back, err := Decode(data)
+					if err != nil {
+						t.Fatalf("%s: decode: %v", kind, err)
+					}
+					if back.Name() != m.Name() {
+						t.Fatalf("%s: name %q != %q after round trip", kind, back.Name(), m.Name())
+					}
+					for i, x := range probes.X {
+						want, got := m.Predict(x), back.Predict(x)
+						if want != got { // bit-identical, not approximately equal
+							t.Fatalf("%s: probe %d: decoded model predicts %v, in-memory %v",
+								kind, i, got, want)
+						}
+					}
+					// A second encode of the decoded model is byte-identical:
+					// the format has one canonical form per model.
+					data2, err := Encode(back)
+					if err != nil {
+						t.Fatalf("%s: re-encode: %v", kind, err)
+					}
+					if string(data) != string(data2) {
+						t.Fatalf("%s: re-encoded bytes differ from original encoding", kind)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownSchema(t *testing.T) {
+	ds := synthDataset(t, 7, 40, 4)
+	lin, err := FitLinear(ds, doe.ExpandLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["schema"] = json.RawMessage("99")
+	bumped, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Decode(bumped)
+	var se *SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("decode of schema 99 returned %v, want *SchemaError", err)
+	}
+	if se.Got != 99 {
+		t.Fatalf("SchemaError.Got = %d, want 99", se.Got)
+	}
+}
+
+// TestEncodeSanitizesNonFiniteDiagnostics is the regression test for the
+// saturated-fit case: BIC/GCV are +Inf when samples <= parameters (Equation
+// 9), JSON cannot carry Inf, and the first production fit at quick scale hit
+// exactly this. Encoding must coerce the diagnostics and leave predictions
+// bit-identical.
+func TestEncodeSanitizesNonFiniteDiagnostics(t *testing.T) {
+	ds := synthDataset(t, 13, 40, 4)
+	hy, err := FitHybridRBF(LogDataset(ds), MARSOptions{}, RBFOptions{Kernel: Multiquadric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy.Trend.GCVScore = math.Inf(1)
+	hy.Residual.BICScore = math.Inf(1)
+	hy.Residual.TrainSSE = math.NaN()
+	m := LogModel{Inner: hy}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("encode with non-finite diagnostics: %v", err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range synthDataset(t, 14, 20, 4).X {
+		if want, got := m.Predict(x), back.Predict(x); want != got {
+			t.Fatalf("sanitized round trip changed prediction: %v != %v", got, want)
+		}
+	}
+	// Sanitizing must not mutate the caller's model.
+	if !math.IsInf(hy.Trend.GCVScore, 1) {
+		t.Fatal("Encode mutated the in-memory model")
+	}
+}
+
+func TestDecodeRejectsCorruptPayloads(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"schema":1,`,
+		"unknown kind":    `{"schema":1,"kind":"cubist"}`,
+		"missing payload": `{"schema":1,"kind":"linear"}`,
+		"torn rbf":        `{"schema":1,"kind":"rbf","rbf":{"Kernel":1,"Centers":[[0,0]],"Radii":[1],"W":[1]}}`,
+		"log no inner":    `{"schema":1,"kind":"log"}`,
+	}
+	for name, data := range cases {
+		_, err := Decode([]byte(data))
+		var ce *CodecError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: decode returned %v, want *CodecError", name, err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/doe"
+	"repro/internal/workloads"
+)
+
+// TestReloadAndEvictionUnderConcurrentPredicts is the satellite-3 stress
+// test (run under -race): predict traffic hammers a registry whose capacity
+// forces LRU churn while artifacts are concurrently re-persisted and
+// reloaded. It pins three invariants:
+//
+//   - no torn reads: every prediction equals exactly the old or the new
+//     artifact version's value, never a mix;
+//   - no double fit: with every pair persisted, eviction and reload resolve
+//     from disk — the trainer never runs;
+//   - eviction never deletes the on-disk artifact.
+func TestReloadAndEvictionUnderConcurrentPredicts(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenArtifacts(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"179.art", "181.mcf", "164.gzip"}
+	wls := make([]workloads.Workload, len(names))
+	// oldWant/newWant are each workload's rbf prediction at its probe for
+	// the two artifact versions; seeds 100+i and 200+i keep them distinct.
+	probe := make([][]float64, len(names))
+	oldWant := make([]float64, len(names))
+	newWant := make([]float64, len(names))
+	for i, name := range names {
+		wls[i] = workloads.MustGet(name, workloads.Train)
+		art := serializableArtifacts(wls[i], int64(100+i))
+		if err := store.Save(art, "quick"); err != nil {
+			t.Fatal(err)
+		}
+		probe[i] = art.Space.Code(doe.Point(testPoints(1, int64(70+i))[0]))
+		m, _ := art.Model("rbf")
+		oldWant[i] = m.Predict(probe[i])
+		next := serializableArtifacts(wls[i], int64(200+i))
+		mn, _ := next.Model("rbf")
+		newWant[i] = mn.Predict(probe[i])
+	}
+
+	var fits atomic.Int64
+	reg := NewRegistry(func(ctx context.Context, w workloads.Workload, scale string) (*Artifacts, error) {
+		fits.Add(1)
+		return nil, errors.New("trainer must not run: every pair is persisted")
+	}, 2) // capacity 2 over 3 workloads: constant eviction churn
+	reg.UseStore(store, false, nil)
+
+	stop := make(chan struct{})
+	fail := make(chan string, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := (g + iter) % len(names)
+				art, _, err := reg.Get(context.Background(), wls[i], "quick")
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				m, err := art.Model("rbf")
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				got := m.Predict(probe[i])
+				if got != oldWant[i] && got != newWant[i] {
+					fail <- "torn read: prediction matches neither artifact version"
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Concurrently: re-persist each workload's new version and reload, twice.
+	for round := 0; round < 2; round++ {
+		for i, w := range wls {
+			if err := store.Save(serializableArtifacts(w, int64(200+i)), "quick"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, skipped, err := reg.Reload(); err != nil || skipped != 0 {
+			t.Fatalf("reload: skipped=%d err=%v", skipped, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+
+	if n := fits.Load(); n != 0 {
+		t.Fatalf("trainer ran %d times despite persisted artifacts (double fit)", n)
+	}
+	st := reg.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("capacity 2 over 3 keys caused no evictions: %+v", st)
+	}
+	// Eviction is cache policy, not storage policy: every artifact survives.
+	for _, w := range wls {
+		if _, err := os.Stat(store.Path(w, "quick")); err != nil {
+			t.Fatalf("eviction removed the on-disk artifact: %v", err)
+		}
+	}
+	// After the final reload every pair must serve the new version.
+	for i, w := range wls {
+		art, _, err := reg.Get(context.Background(), w, "quick")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := art.Model("rbf")
+		// The entry may predate the last reload only if eviction re-resolved
+		// it from disk afterwards — either way disk now holds version 2.
+		if got := m.Predict(probe[i]); got != newWant[i] && got != oldWant[i] {
+			t.Fatalf("workload %s: prediction matches neither version", w.Key())
+		}
+	}
+}

@@ -3,10 +3,12 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -41,6 +43,18 @@ type Options struct {
 	// MaxModels bounds the registry's resident (workload, scale) entries
 	// (0 = 8).
 	MaxModels int
+	// ArtifactDir, when set, persists every successful fit as a versioned
+	// artifact file and warm-boots the registry from the directory, so a
+	// restart serves predictions immediately instead of refitting. A
+	// directory that cannot be created is logged and ignored (mirroring the
+	// measurement cache): persistence is durability, not correctness.
+	ArtifactDir string
+	// Replica serves /v1/predict and /v1/rank purely from persisted
+	// artifacts: the trainer is never called and no farm exists, so
+	// /v1/measure and /v1/search answer 503. A (workload, scale) pair with
+	// no artifact is 503 with a Retry-After hint — the writer owns
+	// training. Requires ArtifactDir.
+	Replica bool
 	// CoalesceWindow is the measure-batching window (0 = 10ms).
 	CoalesceWindow time.Duration
 	// RatePerSec and RateBurst configure the per-endpoint token buckets
@@ -76,6 +90,7 @@ type Options struct {
 type Server struct {
 	opts      Options
 	registry  *Registry
+	artifacts *ArtifactStore // nil without ArtifactDir
 	coalescer *Coalescer
 	metrics   *Metrics
 	limits    map[string]*bucket
@@ -116,6 +131,31 @@ func New(opts Options) *Server {
 		trainer = s.harnessTrainer
 	}
 	s.registry = NewRegistry(trainer, opts.MaxModels)
+	if opts.ArtifactDir != "" {
+		store, err := OpenArtifacts(opts.ArtifactDir, opts.Log)
+		if err != nil {
+			// Same posture as the measurement cache: log and serve without
+			// persistence rather than refuse to start. A replica without a
+			// store answers every predict with *NoArtifactError (503).
+			if opts.Log != nil {
+				fmt.Fprintf(opts.Log, "artifact store unavailable: %v\n", err)
+			}
+		} else {
+			s.artifacts = store
+			s.registry.UseStore(store, opts.Replica, opts.Log)
+			if n, skipped, err := s.registry.Reload(); err != nil {
+				if opts.Log != nil {
+					fmt.Fprintf(opts.Log, "artifact warm boot failed: %v\n", err)
+				}
+			} else if opts.Log != nil && (n > 0 || skipped > 0) {
+				fmt.Fprintf(opts.Log, "warm boot: %d artifacts loaded, %d skipped\n", n, skipped)
+			}
+		}
+	} else if opts.Replica {
+		// Replica with nowhere to read artifacts from: still boots (health
+		// checks work) but every predict reports no artifact.
+		s.registry.UseStore(nil, true, opts.Log)
+	}
 	batch := opts.Batch
 	if batch == nil {
 		batch = s.farmBatch
@@ -128,6 +168,7 @@ func New(opts Options) *Server {
 	s.route("POST /v1/measure", "measure", s.handleMeasure)
 	s.route("POST /v1/search", "search", s.handleSearch)
 	s.route("GET /v1/rank", "rank", s.handleRank)
+	s.route("POST /v1/reload", "reload", s.handleReload)
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return s
@@ -403,7 +444,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	art, cached, err := s.registry.Get(r.Context(), wl, s.resolveScale(req.Scale))
 	if err != nil {
-		writeErr(w, statusFor(err), "train: "+err.Error())
+		writeResolveErr(w, err)
 		return
 	}
 	m, err := art.Model(req.Model)
@@ -411,16 +452,67 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	coded, err := codePoints(art.Space, req.Points)
+	preds, err := s.predictAll(art, m, req.Points)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	preds := model.PredictAllParallel(m, coded, s.opts.Workers)
 	writeJSON(w, http.StatusOK, PredictResponse{Model: m.Name(), Cached: cached, Predictions: preds})
 }
 
+// predictSerialMax bounds the batch size the pooled serial path handles;
+// larger batches amortize the goroutine fan-out, so they take the parallel
+// path.
+const predictSerialMax = 256
+
+// predictPool recycles the coding and spline-expansion buffers of the
+// predict hot path, so steady-state point traffic allocates only the
+// response slice.
+var predictPool = sync.Pool{New: func() any { return new(predictBuf) }}
+
+type predictBuf struct {
+	coded   []float64
+	scratch []float64
+}
+
+// predictAll evaluates m at raw points. Small batches run serially over one
+// pooled buffer pair; large batches code up front and fan out. Both paths
+// run the identical coding and expansion arithmetic, so predictions are
+// bit-identical regardless of which one a request takes.
+func (s *Server) predictAll(art *Artifacts, m model.Model, raw [][]int64) ([]float64, error) {
+	if len(raw) > predictSerialMax {
+		coded, err := codePoints(art.Space, raw)
+		if err != nil {
+			return nil, err
+		}
+		return model.PredictAllParallel(m, coded, s.opts.Workers), nil
+	}
+	buf := predictPool.Get().(*predictBuf)
+	defer predictPool.Put(buf)
+	if n := art.Space.NumVars(); cap(buf.coded) < n {
+		buf.coded = make([]float64, 0, n)
+	}
+	if n := art.scratchLen(); cap(buf.scratch) < n {
+		buf.scratch = make([]float64, 0, n)
+	}
+	preds := make([]float64, len(raw))
+	for i, rp := range raw {
+		p := doe.Point(rp)
+		if err := art.Space.Validate(p); err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		buf.coded = art.Space.CodeInto(p, buf.coded)
+		preds[i] = model.PredictWith(m, buf.coded, buf.scratch)
+	}
+	return preds, nil
+}
+
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Replica {
+		writeErr(w, http.StatusServiceUnavailable,
+			"replica serves predictions only; send measure requests to the writer")
+		return
+	}
 	var req MeasureRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -467,6 +559,11 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Replica {
+		writeErr(w, http.StatusServiceUnavailable,
+			"replica serves predictions only; send search requests to the writer")
+		return
+	}
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -489,7 +586,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	scaleName := s.resolveScale(req.Scale)
 	art, _, err := s.registry.Get(r.Context(), wl, scaleName)
 	if err != nil {
-		writeErr(w, statusFor(err), "train: "+err.Error())
+		writeResolveErr(w, err)
 		return
 	}
 	m, err := art.Model(req.Model)
@@ -553,7 +650,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	art, _, err := s.registry.Get(r.Context(), wl, s.resolveScale(q.Get("scale")))
 	if err != nil {
-		writeErr(w, statusFor(err), "train: "+err.Error())
+		writeResolveErr(w, err)
 		return
 	}
 	kind := q.Get("model")
@@ -573,6 +670,29 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		out.Effects = append(out.Effects, RankedEffect{Label: e.Label(), Value: e.Value})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleReload rescans the artifact directory and swaps every decodable
+// artifact into the registry copy-on-write — in-flight requests finish on
+// the entries they resolved; new requests see the reloaded ones. Works on
+// writer and replica alike; cmd/empiricod also triggers it on SIGHUP.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	loaded, skipped, err := s.ReloadArtifacts()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"loaded": loaded, "skipped": skipped})
+}
+
+// ReloadArtifacts rescans the artifact store into the registry (the SIGHUP
+// and POST /v1/reload entry point). It errors when no artifact directory is
+// configured.
+func (s *Server) ReloadArtifacts() (loaded, skipped int, err error) {
+	if s.artifacts == nil {
+		return 0, 0, fmt.Errorf("serve: no artifact directory configured")
+	}
+	return s.registry.Reload()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -599,6 +719,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "empiricod_model_fits_total %d\n", rs.Fits)
 	fmt.Fprintf(w, "empiricod_model_registry_hits_total %d\n", rs.Hits)
 	fmt.Fprintf(w, "empiricod_model_registry_evictions_total %d\n", rs.Evictions)
+	fmt.Fprintln(w, "# HELP empiricod_artifact_loads_total Model artifacts loaded from disk (boot, lazy miss, reload).")
+	fmt.Fprintln(w, "# TYPE empiricod_artifact_loads_total counter")
+	fmt.Fprintf(w, "empiricod_artifact_loads_total %d\n", rs.Loads)
+	fmt.Fprintf(w, "empiricod_artifact_persists_total %d\n", rs.Persists)
+	fmt.Fprintf(w, "empiricod_artifact_corrupt_total %d\n", rs.Corrupt)
+	fmt.Fprintf(w, "empiricod_artifact_reloads_total %d\n", rs.Reloads)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintln(w, "# HELP empiricod_goroutines Live goroutines.")
+	fmt.Fprintln(w, "# TYPE empiricod_goroutines gauge")
+	fmt.Fprintf(w, "empiricod_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintln(w, "# HELP empiricod_heap_inuse_bytes Bytes in in-use heap spans.")
+	fmt.Fprintln(w, "# TYPE empiricod_heap_inuse_bytes gauge")
+	fmt.Fprintf(w, "empiricod_heap_inuse_bytes %d\n", ms.HeapInuse)
+	fmt.Fprintln(w, "# HELP empiricod_gc_pause_seconds_total Cumulative stop-the-world GC pause.")
+	fmt.Fprintln(w, "# TYPE empiricod_gc_pause_seconds_total counter")
+	fmt.Fprintf(w, "empiricod_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(w, "empiricod_gc_cycles_total %d\n", ms.NumGC)
 
 	fmt.Fprintln(w, "# HELP empiricod_measure_batches_total Coalesced farm batches dispatched.")
 	fmt.Fprintln(w, "# TYPE empiricod_measure_batches_total counter")
@@ -703,6 +842,20 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
+}
+
+// writeResolveErr maps a registry resolution failure to a response. A
+// replica miss (*NoArtifactError) is 503 with a Retry-After hint: the writer
+// owns training, so the artifact appears once it has fitted the pair —
+// retrying is the correct client behavior, not an error to propagate.
+func writeResolveErr(w http.ResponseWriter, err error) {
+	var na *NoArtifactError
+	if errors.As(err, &na) {
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeErr(w, statusFor(err), "train: "+err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
