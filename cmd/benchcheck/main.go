@@ -97,6 +97,9 @@ type ModelNumbers struct {
 	CrossValSpeedupX float64 `json:"crossval_speedup_x"`
 	GASearchMs       float64 `json:"ga_ms"`
 	GASpeedupX       float64 `json:"ga_speedup_x"`
+	// FeatureExtractMs is the cold feature-extraction wall clock over the
+	// full seed suite from BenchmarkFeatureExtract.
+	FeatureExtractMs float64 `json:"feature_extract_ms"`
 }
 
 // FarmNumbers is the schema of BENCH_farm.json.
@@ -262,17 +265,21 @@ func checkModel(lines []benchLine, baselinePath, outPath string, maxRegress, min
 			cur.GASearchMs = l.metrics["par-ms"]
 			cur.GASpeedupX = l.metrics["speedup-x"]
 			have++
+		case strings.HasPrefix(l.name, "BenchmarkFeatureExtract"):
+			cur.FeatureExtractMs = l.metrics["extract-ms"]
+			have++
 		}
 	}
-	if have != 4 {
-		fatal(fmt.Errorf("benchcheck: model set needs 4 benchmarks, parsed %d", have))
+	if have != 5 {
+		fatal(fmt.Errorf("benchcheck: model set needs 5 benchmarks, parsed %d", have))
 	}
 
 	base := &ModelNumbers{}
 	writeAndLoadBaseline(cur, base, baselinePath, outPath)
-	fmt.Printf("benchcheck: mars %.0fms, doptimal %.0fms (%.1fx vs ref), cv %.0fms (%.2fx), ga %.0fms (%.2fx)\n",
+	fmt.Printf("benchcheck: mars %.0fms, doptimal %.0fms (%.1fx vs ref), cv %.0fms (%.2fx), ga %.0fms (%.2fx), features %.0fms\n",
 		cur.FitMARSMs, cur.DOptimalMs, cur.DOptimalSpeedupX,
-		cur.CrossValMs, cur.CrossValSpeedupX, cur.GASearchMs, cur.GASpeedupX)
+		cur.CrossValMs, cur.CrossValSpeedupX, cur.GASearchMs, cur.GASpeedupX,
+		cur.FeatureExtractMs)
 	if cur.DOptimalSpeedupX < minDOptSpeedup {
 		fatal(fmt.Errorf("benchcheck: doptimal incremental speedup %.2fx below floor %.1fx",
 			cur.DOptimalSpeedupX, minDOptSpeedup))
@@ -292,6 +299,7 @@ func checkModel(lines []benchLine, baselinePath, outPath string, maxRegress, min
 		{"doptimal_ms", cur.DOptimalMs, base.DOptimalMs},
 		{"crossval_ms", cur.CrossValMs, base.CrossValMs},
 		{"ga_ms", cur.GASearchMs, base.GASearchMs},
+		{"feature_extract_ms", cur.FeatureExtractMs, base.FeatureExtractMs},
 	}
 	for _, s := range stages {
 		if s.base <= 0 {

@@ -9,6 +9,7 @@
 // Endpoints:
 //
 //	POST /v1/predict   batch model predictions at raw design points
+//	POST /v1/predict-program  cross-model predictions for raw MiniC source
 //	POST /v1/measure   ground truth (compile + simulate), coalesced
 //	POST /v1/search    GA flag search, streamed generation-by-generation
 //	GET  /v1/rank      significant-term ranking of the fitted model
@@ -63,6 +64,10 @@ func main() {
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain timeout for in-flight measurement leases")
 		waddrs   = flag.String("workers-addrs", "", "comma-separated empirico-worker addresses; measurements shard across them instead of running in-process")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+
+		crossSeed = flag.Int64("cross-seed", 0, "predict-program: wlgen corpus seed (0 = default)")
+		crossN    = flag.Int("cross-corpus", 0, "predict-program: wlgen programs added to the seed suite (0 = default)")
+		crossPts  = flag.Int("cross-points", 0, "predict-program: measured joint points per corpus program (0 = default)")
 	)
 	flag.Parse()
 
@@ -70,17 +75,20 @@ func main() {
 		fatal(fmt.Errorf("-replica requires -artifacts"))
 	}
 	opts := serve.Options{
-		Scale:          *scale,
-		CacheDir:       *cacheDir,
-		Workers:        *workers,
-		TrainPoints:    *train,
-		MaxModels:      *models,
-		ArtifactDir:    *artDir,
-		Replica:        *replica,
-		CoalesceWindow: *window,
-		RatePerSec:     *rate,
-		RateBurst:      *burst,
-		MaxInFlight:    *inflight,
+		Scale:           *scale,
+		CacheDir:        *cacheDir,
+		Workers:         *workers,
+		TrainPoints:     *train,
+		MaxModels:       *models,
+		ArtifactDir:     *artDir,
+		Replica:         *replica,
+		CoalesceWindow:  *window,
+		RatePerSec:      *rate,
+		RateBurst:       *burst,
+		MaxInFlight:     *inflight,
+		CrossCorpusSeed: *crossSeed,
+		CrossCorpusSize: *crossN,
+		CrossPointsPer:  *crossPts,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr

@@ -1,0 +1,109 @@
+// wlgen generates seeded MiniC workloads from the parameterized kernel
+// templates in internal/wlgen. The same seed always yields byte-identical
+// programs, so a corpus is a (seed, n) pair, not an artifact to archive.
+//
+// Usage:
+//
+//	wlgen -templates                 # list kernel templates
+//	wlgen -seed 42 -n 3              # print three programs to stdout
+//	wlgen -seed 42 -n 100 -o corpus/ # write corpus/<name>.mc files
+//	wlgen -seed 42 -n 50 -verify     # compile + run each at O0 and O3,
+//	                                 # checking result agreement (CI gate)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/compiler"
+	"repro/internal/lang"
+	"repro/internal/sim"
+	"repro/internal/wlgen"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "corpus seed (same seed + n prefix => identical programs)")
+		n         = flag.Int("n", 1, "number of programs to generate")
+		out       = flag.String("o", "", "write <name>.mc files into this directory instead of stdout")
+		templates = flag.Bool("templates", false, "list template names and exit")
+		verify    = flag.Bool("verify", false, "compile each program at O0 and O3, run both, and check the results agree")
+		maxInstrs = flag.Int64("max-instrs", 20_000_000, "per-run dynamic instruction bound in -verify mode")
+	)
+	flag.Parse()
+
+	if *templates {
+		for _, name := range wlgen.TemplateNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *n <= 0 {
+		fatal(fmt.Errorf("wlgen: -n must be positive, got %d", *n))
+	}
+	ps := wlgen.Corpus(*seed, *n)
+
+	if *verify {
+		for _, p := range ps {
+			if err := verifyProgram(p, *maxInstrs); err != nil {
+				fatal(fmt.Errorf("wlgen: %s: %w", p.Name, err))
+			}
+		}
+		fmt.Printf("wlgen: %d programs verified (seed %d)\n", len(ps), *seed)
+		return
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, p := range ps {
+			path := filepath.Join(*out, p.Name+".mc")
+			if err := os.WriteFile(path, []byte(p.Source), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wlgen: wrote %d programs to %s\n", len(ps), *out)
+		return
+	}
+
+	for _, p := range ps {
+		fmt.Printf("// %s (template %s, seed %#x)\n%s\n", p.Name, p.Template, uint64(p.Seed), p.Source)
+	}
+}
+
+// verifyProgram is the CI validity gate: the program must parse, check,
+// compile at O0 and O3, and compute the same result under both.
+func verifyProgram(p wlgen.Program, maxInstrs int64) error {
+	ast, err := lang.Parse(p.Source)
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if err := lang.Check(ast); err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	var ref int64
+	for i, o := range []compiler.Options{compiler.O0(), compiler.O3()} {
+		prog, _, err := compiler.Compile(ast, o)
+		if err != nil {
+			return fmt.Errorf("compile O%d: %w", i*3, err)
+		}
+		_, rv, err := sim.NewExecutor(prog).Run(maxInstrs)
+		if err != nil {
+			return fmt.Errorf("run O%d: %w", i*3, err)
+		}
+		if i == 0 {
+			ref = rv
+		} else if rv != ref {
+			return fmt.Errorf("O3 result %d != O0 result %d", rv, ref)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -194,12 +194,12 @@ func FindLoops(f *Func, dom *DomTree) []*Loop {
 	return loops
 }
 
-// EstimateFrequencies sets Block.Freq with a simple static profile: entry
-// frequency 1, loops multiply inner frequency by loopWeight, branch
-// successors split frequency evenly.
-func EstimateFrequencies(f *Func, loops []*Loop) {
-	const loopWeight = 10.0
-	depth := map[*Block]int{}
+// BlockLoopDepths returns the loop-nesting depth of every block of f: 0 for
+// blocks outside any loop, otherwise the depth of the innermost containing
+// loop (1 = outermost). Static profile estimation and the program-feature
+// extractor (internal/features) share it.
+func BlockLoopDepths(f *Func, loops []*Loop) map[*Block]int {
+	depth := make(map[*Block]int, len(f.Blocks))
 	for _, l := range loops {
 		for b := range l.Blocks {
 			if l.Depth > depth[b] {
@@ -207,6 +207,15 @@ func EstimateFrequencies(f *Func, loops []*Loop) {
 			}
 		}
 	}
+	return depth
+}
+
+// EstimateFrequencies sets Block.Freq with a simple static profile: entry
+// frequency 1, loops multiply inner frequency by loopWeight, branch
+// successors split frequency evenly.
+func EstimateFrequencies(f *Func, loops []*Loop) {
+	const loopWeight = 10.0
+	depth := BlockLoopDepths(f, loops)
 	for _, b := range f.Blocks {
 		b.Freq = 1
 		for i := 0; i < depth[b]; i++ {

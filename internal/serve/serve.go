@@ -17,6 +17,7 @@ import (
 	"repro/internal/doe"
 	"repro/internal/exp"
 	"repro/internal/farm"
+	"repro/internal/features"
 	"repro/internal/model"
 	"repro/internal/search"
 	"repro/internal/sim"
@@ -64,6 +65,13 @@ type Options struct {
 	// MaxInFlight bounds concurrently handled requests; excess requests are
 	// shed with 429 (0 = 256).
 	MaxInFlight int
+	// CrossCorpusSeed, CrossCorpusSize and CrossPointsPer shape the
+	// cross-program training pool behind /v1/predict-program: the seed suite
+	// plus CrossCorpusSize wlgen programs from CrossCorpusSeed, each measured
+	// at CrossPointsPer joint points. Zero values take the package defaults.
+	CrossCorpusSeed int64
+	CrossCorpusSize int
+	CrossPointsPer  int
 	// Log receives harness/farm progress lines; nil silences them.
 	Log io.Writer
 
@@ -102,6 +110,11 @@ type Server struct {
 	mu        sync.Mutex
 	harnesses map[string]*exp.Harness
 	closed    bool
+
+	crossMu   sync.Mutex
+	cross     map[string]*crossEntry // per-scale cross-program models
+	crossFits atomic.Int64
+	crossHits atomic.Int64
 }
 
 // New builds a server. No harness or model exists until the first request
@@ -125,6 +138,7 @@ func New(opts Options) *Server {
 		maxFlight: int64(opts.MaxInFlight),
 		start:     time.Now(),
 		harnesses: map[string]*exp.Harness{},
+		cross:     map[string]*crossEntry{},
 	}
 	trainer := opts.Trainer
 	if trainer == nil {
@@ -165,6 +179,7 @@ func New(opts Options) *Server {
 	s.limits = map[string]*bucket{}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/predict", "predict", s.handlePredict)
+	s.route("POST /v1/predict-program", "predict-program", s.handlePredictProgram)
 	s.route("POST /v1/measure", "measure", s.handleMeasure)
 	s.route("POST /v1/search", "search", s.handleSearch)
 	s.route("GET /v1/rank", "rank", s.handleRank)
@@ -719,6 +734,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "empiricod_model_fits_total %d\n", rs.Fits)
 	fmt.Fprintf(w, "empiricod_model_registry_hits_total %d\n", rs.Hits)
 	fmt.Fprintf(w, "empiricod_model_registry_evictions_total %d\n", rs.Evictions)
+	s.crossMu.Lock()
+	crossCached := len(s.cross)
+	s.crossMu.Unlock()
+	fmt.Fprintln(w, "# HELP empiricod_cross_models_cached Cross-program model sets resident, one per scale.")
+	fmt.Fprintln(w, "# TYPE empiricod_cross_models_cached gauge")
+	fmt.Fprintf(w, "empiricod_cross_models_cached %d\n", crossCached)
+	fmt.Fprintln(w, "# HELP empiricod_cross_fits_total Cross-program training runs started.")
+	fmt.Fprintln(w, "# TYPE empiricod_cross_fits_total counter")
+	fmt.Fprintf(w, "empiricod_cross_fits_total %d\n", s.crossFits.Load())
+	fmt.Fprintf(w, "empiricod_cross_hits_total %d\n", s.crossHits.Load())
+
+	fh, fm := features.CacheStats()
+	fmt.Fprintln(w, "# HELP empiricod_feature_cache_hits_total Feature extractions answered from the fingerprint cache.")
+	fmt.Fprintln(w, "# TYPE empiricod_feature_cache_hits_total counter")
+	fmt.Fprintf(w, "empiricod_feature_cache_hits_total %d\n", fh)
+	fmt.Fprintln(w, "# HELP empiricod_feature_cache_misses_total Feature extractions that ran the full pipeline.")
+	fmt.Fprintln(w, "# TYPE empiricod_feature_cache_misses_total counter")
+	fmt.Fprintf(w, "empiricod_feature_cache_misses_total %d\n", fm)
+
 	fmt.Fprintln(w, "# HELP empiricod_artifact_loads_total Model artifacts loaded from disk (boot, lazy miss, reload).")
 	fmt.Fprintln(w, "# TYPE empiricod_artifact_loads_total counter")
 	fmt.Fprintf(w, "empiricod_artifact_loads_total %d\n", rs.Loads)

@@ -1,0 +1,82 @@
+package sim
+
+import "repro/internal/isa"
+
+// Profile summarizes one functional-only interpretation of a program: the
+// cheap dynamic statistics the program-feature extractor
+// (internal/features) folds into its vector. No timing model runs, so a
+// profile costs interpretation only and is bit-deterministic: the executor
+// is sequential and the counters depend on nothing but the program.
+type Profile struct {
+	// Instrs is the number of instructions interpreted (at most the budget
+	// passed to ProfileProgram).
+	Instrs int64
+	// Dynamic operation-class counts.
+	ALU    int64 // integer ALU including immediates and compares
+	MulDiv int64
+	Loads  int64
+	Stores int64
+	// CondBranches counts executed conditional branches, TakenBranches the
+	// taken subset.
+	CondBranches  int64
+	TakenBranches int64
+	// Calls counts executed call instructions.
+	Calls int64
+	// UniquePages is the number of distinct 4KB data pages touched by
+	// loads, stores and prefetches — a working-set estimate.
+	UniquePages int
+	// Halted reports whether the program ran to completion; false means the
+	// instruction budget expired first and the counters describe the
+	// executed prefix.
+	Halted bool
+}
+
+// ProfileProgram interprets prog functionally for at most maxInstrs
+// instructions (0 means 1M) and returns the dynamic profile. Running out of
+// budget is not an error — the profile of a deterministic prefix is itself
+// deterministic, which is what feature extraction needs — so only genuine
+// faults (compiler bugs) are reported.
+func ProfileProgram(prog *isa.Program, maxInstrs int64) (Profile, error) {
+	if maxInstrs <= 0 {
+		maxInstrs = 1_000_000
+	}
+	exe := NewExecutor(prog)
+	var p Profile
+	pages := make(map[uint64]struct{}, 64)
+	for !exe.Halted && p.Instrs < maxInstrs {
+		entry, ok, err := exe.Step()
+		if err != nil {
+			return Profile{}, err
+		}
+		if !ok {
+			break
+		}
+		p.Instrs++
+		switch op := prog.Instrs[entry.PC].Op; op {
+		case isa.OpLoad, isa.OpPrefetch:
+			if op == isa.OpLoad {
+				p.Loads++
+			}
+			pages[entry.Addr>>12] = struct{}{}
+		case isa.OpStore:
+			p.Stores++
+			pages[entry.Addr>>12] = struct{}{}
+		case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+			p.CondBranches++
+			if entry.Taken {
+				p.TakenBranches++
+			}
+		case isa.OpCall:
+			p.Calls++
+		case isa.OpMul, isa.OpDiv, isa.OpRem:
+			p.MulDiv++
+		case isa.OpJump, isa.OpRet, isa.OpHalt, isa.OpNop:
+			// Control glue and nops are counted in Instrs only.
+		default:
+			p.ALU++
+		}
+	}
+	p.UniquePages = len(pages)
+	p.Halted = exe.Halted
+	return p, nil
+}

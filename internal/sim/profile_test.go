@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+const profileSrc = `
+int a[64];
+int main() {
+	int s = 0;
+	for (int i = 0; i < 64; i = i + 1) {
+		a[i] = i * 3;
+	}
+	for (int i = 0; i < 64; i = i + 1) {
+		if (a[i] > 90) {
+			s = s + a[i] * 2;
+		} else {
+			s = s - 1;
+		}
+	}
+	return s;
+}
+`
+
+func TestProfileProgramCountsAndDeterminism(t *testing.T) {
+	prog, _, err := compiler.CompileSource(profileSrc, compiler.O3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProfileProgram(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Halted {
+		t.Fatal("tiny program must run to completion")
+	}
+	if p.Instrs == 0 || p.Loads == 0 || p.Stores < 64 || p.CondBranches == 0 {
+		t.Errorf("implausible profile: %+v", p)
+	}
+	if p.TakenBranches > p.CondBranches {
+		t.Errorf("taken %d > conditional %d", p.TakenBranches, p.CondBranches)
+	}
+	if p.UniquePages == 0 {
+		t.Error("array traffic must touch at least one page")
+	}
+	q, err := ProfileProgram(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != q {
+		t.Errorf("profile not deterministic: %+v vs %+v", p, q)
+	}
+	// A budget smaller than the program yields a prefix profile, not an error.
+	pre, err := ProfileProgram(prog, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Halted || pre.Instrs != 10 {
+		t.Errorf("prefix profile wrong: %+v", pre)
+	}
+}

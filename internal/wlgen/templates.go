@@ -1,0 +1,291 @@
+package wlgen
+
+import "math/rand"
+
+// The six kernel families. Each draws its sizes, constants and structural
+// parameters from the per-program rng, emits deterministic in-program input
+// initialization (no external data), and folds all computed state into
+// main's return value so differential testing across compiler
+// configurations observes every kernel effect.
+//
+// Shared conventions keeping every instantiation valid and portable:
+//   - array sizes are powers of two and indices are masked (or provably in
+//     range), so no access faults;
+//   - loop bounds are constants or strictly increasing inductions, so every
+//     program terminates;
+//   - values are masked before multiplication, so results do not depend on
+//     overflow edge cases (MiniC ints wrap at 64 bits regardless — this is
+//     hygiene, not correctness);
+//   - division and modulo never appear with a variable divisor.
+var templates = []template{
+	{"stencil", genStencil},
+	{"hashjoin", genHashJoin},
+	{"strmatch", genStrMatch},
+	{"spmv", genSpMV},
+	{"statemachine", genStateMachine},
+	{"treewalk", genTreeWalk},
+}
+
+// genStencil emits a 1-D (2r+1)-point weighted stencil swept repeatedly
+// over a circular array: regular strided access, unrolled tap chains, high
+// ILP — the loop-optimization and prefetch flags' best case.
+func genStencil(rng *rand.Rand) string {
+	n := 128 << rng.Intn(3)   // 128..512 elements
+	radius := 1 + rng.Intn(3) // 3..7 taps
+	sweeps := 2 + rng.Intn(5)
+	shift := 1 + rng.Intn(3)
+	weights := make([]int, 2*radius+1)
+	for i := range weights {
+		weights[i] = 1 + rng.Intn(9)
+	}
+	c1, c2 := 3+2*rng.Intn(30), rng.Intn(256)
+
+	s := &src{}
+	s.line("int a[%d];", n)
+	s.line("int b[%d];", n)
+	s.open("int main()")
+	s.open("for (int i = 0; i < %d; i = i + 1)", n)
+	s.line("a[i] = (i * %d + %d) & 1023;", c1, c2)
+	s.line("b[i] = 0;")
+	s.close()
+	s.open("for (int sw = 0; sw < %d; sw = sw + 1)", sweeps)
+	s.open("for (int i = 0; i < %d; i = i + 1)", n)
+	s.line("int acc = 0;")
+	for t := -radius; t <= radius; t++ {
+		s.line("acc = acc + a[(i + %d) & %d] * %d;", t+n, n-1, weights[t+radius])
+	}
+	s.line("b[i] = (acc >> %d) & 1023;", shift)
+	s.close()
+	s.open("for (int i = 0; i < %d; i = i + 1)", n)
+	s.line("a[i] = b[i];")
+	s.close()
+	s.close()
+	s.line("int sum = 0;")
+	s.open("for (int i = 0; i < %d; i = i + 1)", n)
+	s.line("sum = (sum * 31 + a[i]) & 1073741823;")
+	s.close()
+	s.line("return sum;")
+	s.close()
+	return s.String()
+}
+
+// genHashJoin emits a build/probe hash join with linear probing: a hash
+// helper called per key (call density, inlining target), data-dependent
+// probe-loop trip counts and scattered bucket accesses. Empty slots hold 0,
+// so inserted and probed keys are offset to be nonzero.
+func genHashJoin(rng *rand.Rand) string {
+	b := 256 << rng.Intn(3) // 256..1024 buckets
+	m := b/4 + rng.Intn(b/4)
+	probes := 1024 << rng.Intn(2)
+	plen := 8 + rng.Intn(8)
+	hmul := 2*(1+rng.Intn(32767)) + 1
+	hshift := 3 + rng.Intn(5)
+	keyMask := 1<<(8+rng.Intn(4)) - 1
+	c1, c2 := 2*rng.Intn(500)+1, rng.Intn(1024)
+	c3, c4 := 2*rng.Intn(500)+1, rng.Intn(1024)
+
+	s := &src{}
+	s.line("int bucket[%d];", b)
+	s.open("int hash(int k)")
+	s.line("return ((k * %d) ^ (k >> %d)) & %d;", hmul, hshift, b-1)
+	s.close()
+	s.open("int main()")
+	s.open("for (int i = 0; i < %d; i = i + 1)", b)
+	s.line("bucket[i] = 0;")
+	s.close()
+	s.open("for (int i = 0; i < %d; i = i + 1)", m)
+	s.line("int k = ((i * %d + %d) & %d) + 1;", c1, c2, keyMask)
+	s.line("int h = hash(k);")
+	s.open("for (int j = 0; j < %d; j = j + 1)", b)
+	s.open("if (bucket[(h + j) & %d] == 0)", b-1)
+	s.line("bucket[(h + j) & %d] = k;", b-1)
+	s.line("break;")
+	s.close()
+	s.close()
+	s.close()
+	s.line("int hits = 0;")
+	s.open("for (int i = 0; i < %d; i = i + 1)", probes)
+	s.line("int k = ((i * %d + %d) & %d) + 1;", c3, c4, keyMask)
+	s.line("int h = hash(k);")
+	s.open("for (int j = 0; j < %d; j = j + 1)", plen)
+	s.line("int v = bucket[(h + j) & %d];", b-1)
+	s.open("if (v == k)")
+	s.line("hits = hits + 1;")
+	s.line("break;")
+	s.close()
+	s.open("if (v == 0)")
+	s.line("break;")
+	s.close()
+	s.close()
+	s.close()
+	s.line("return (hits * 2654435761 + %d) & 1073741823;", rng.Intn(8192))
+	s.close()
+	return s.String()
+}
+
+// genStrMatch emits naive substring search over a small-alphabet text, with
+// the pattern copied from the text so matches occur: short branchy inner
+// loops with early exits — heavy branch-predictor and reorder-blocks
+// exercise.
+func genStrMatch(rng *rand.Rand) string {
+	n := 1024 << rng.Intn(2)
+	m := 3 + rng.Intn(6)
+	sigma := 4 << rng.Intn(3) // alphabet 4..16
+	passes := 2 + rng.Intn(4)
+	pos := rng.Intn(n - m)
+	c1, c2 := 2*rng.Intn(2000)+1, rng.Intn(512)
+	tshift := 2 + rng.Intn(3)
+
+	s := &src{}
+	s.line("int text[%d];", n)
+	s.line("int pat[%d];", m)
+	s.open("int main()")
+	s.open("for (int i = 0; i < %d; i = i + 1)", n)
+	s.line("text[i] = ((i * %d + %d) >> %d) & %d;", c1, c2, tshift, sigma-1)
+	s.close()
+	s.open("for (int j = 0; j < %d; j = j + 1)", m)
+	s.line("pat[j] = text[%d + j];", pos)
+	s.close()
+	s.line("int count = 0;")
+	s.line("int last = 0;")
+	s.open("for (int p = 0; p < %d; p = p + 1)", passes)
+	s.open("for (int i = 0; i < %d; i = i + 1)", n-m+1)
+	s.line("int j = 0;")
+	s.open("while (j < %d)", m)
+	s.open("if (text[i + j] != pat[j])")
+	s.line("break;")
+	s.close()
+	s.line("j = j + 1;")
+	s.close()
+	s.open("if (j == %d)", m)
+	s.line("count = count + 1;")
+	s.line("last = i + p;")
+	s.close()
+	s.close()
+	s.close()
+	s.line("return (count * 8191 + last) & 1073741823;")
+	s.close()
+	return s.String()
+}
+
+// genSpMV emits CSR-style sparse matrix-vector products with a feedback
+// step between iterations: indirect loads through a column-index array —
+// the cache-size and memory-latency variables' stress case.
+func genSpMV(rng *rand.Rand) string {
+	rows := 64 << rng.Intn(2)
+	nnz := 4 + rng.Intn(5)
+	cols := 256 << rng.Intn(2)
+	iters := 4 + rng.Intn(5)
+	total := rows * nnz
+	c1, c2 := 2*rng.Intn(100000)+1, rng.Intn(4096)
+	c3 := 2*rng.Intn(1000) + 1
+	c4 := rng.Intn(256)
+	c5 := 2*rng.Intn(100) + 1
+	cshift := 4 + rng.Intn(4)
+
+	s := &src{}
+	s.line("int colidx[%d];", total)
+	s.line("int vals[%d];", total)
+	s.line("int x[%d];", cols)
+	s.line("int y[%d];", rows)
+	s.open("int main()")
+	s.open("for (int i = 0; i < %d; i = i + 1)", total)
+	s.line("colidx[i] = ((i * %d + %d) >> %d) & %d;", c1, c2, cshift, cols-1)
+	s.line("vals[i] = ((i * %d) & 31) + 1;", c3)
+	s.close()
+	s.open("for (int i = 0; i < %d; i = i + 1)", cols)
+	s.line("x[i] = (i ^ %d) & 255;", c4)
+	s.close()
+	s.open("for (int it = 0; it < %d; it = it + 1)", iters)
+	s.open("for (int r = 0; r < %d; r = r + 1)", rows)
+	s.line("int acc = 0;")
+	s.open("for (int k = 0; k < %d; k = k + 1)", nnz)
+	s.line("acc = acc + vals[r * %d + k] * x[colidx[r * %d + k]];", nnz, nnz)
+	s.close()
+	s.line("y[r] = acc & 65535;")
+	s.close()
+	s.open("for (int r = 0; r < %d; r = r + 1)", rows)
+	s.line("x[(r * %d + it) & %d] = y[r] & 255;", c5, cols-1)
+	s.close()
+	s.close()
+	s.line("int sum = 0;")
+	s.open("for (int r = 0; r < %d; r = r + 1)", rows)
+	s.line("sum = (sum * 131 + y[r]) & 1073741823;")
+	s.close()
+	s.line("return sum;")
+	s.close()
+	return s.String()
+}
+
+// genStateMachine emits a table-driven automaton over a synthetic input
+// tape: serially dependent chained loads (state -> transition -> state) and
+// an unpredictable data-dependent branch — low-ILP, mcf-like behavior.
+func genStateMachine(rng *rand.Rand) string {
+	states := 16 << rng.Intn(3)
+	sigma := 4 << rng.Intn(2)
+	n := 1024 << rng.Intn(2)
+	passes := 2 + rng.Intn(4)
+	c1, c2 := 2*rng.Intn(5000)+1, rng.Intn(1024)
+	c3, c4 := 2*rng.Intn(5000)+1, rng.Intn(1024)
+	branchMask := 1<<(1+rng.Intn(3)) - 1
+
+	s := &src{}
+	s.line("int trans[%d];", states*sigma)
+	s.line("int inp[%d];", n)
+	s.open("int main()")
+	s.open("for (int i = 0; i < %d; i = i + 1)", states*sigma)
+	s.line("trans[i] = ((i * %d + %d) >> 3) & %d;", c1, c2, states-1)
+	s.close()
+	s.open("for (int i = 0; i < %d; i = i + 1)", n)
+	s.line("inp[i] = ((i * %d + %d) >> 4) & %d;", c3, c4, sigma-1)
+	s.close()
+	s.line("int state = 0;")
+	s.line("int acc = 0;")
+	s.open("for (int p = 0; p < %d; p = p + 1)", passes)
+	s.open("for (int i = 0; i < %d; i = i + 1)", n)
+	s.line("state = trans[state * %d + inp[i]];", sigma)
+	s.line("acc = (acc * 33 + state) & 1073741823;")
+	s.open("if ((state & %d) == 0)", branchMask)
+	s.line("acc = acc ^ (i + p);")
+	s.close()
+	s.close()
+	s.close()
+	s.line("return acc;")
+	s.close()
+	return s.String()
+}
+
+// genTreeWalk emits repeated root-to-leaf descents of an implicit binary
+// tree stored heap-style in an array: pointer-chase-like dependent loads
+// with a data-dependent direction branch at every level.
+func genTreeWalk(rng *rand.Rand) string {
+	size := 1 << (8 + rng.Intn(3)) // 256..1024 nodes
+	walks := 256 << rng.Intn(3)
+	keyMask := 1<<(10+rng.Intn(3)) - 1
+	c1, c2 := 2*rng.Intn(10000)+1, rng.Intn(2048)
+	c3, c4 := 2*rng.Intn(10000)+1, rng.Intn(2048)
+
+	s := &src{}
+	s.line("int key[%d];", size)
+	s.open("int main()")
+	s.open("for (int i = 0; i < %d; i = i + 1)", size)
+	s.line("key[i] = ((i * %d + %d) >> 2) & %d;", c1, c2, keyMask)
+	s.close()
+	s.line("int acc = 0;")
+	s.open("for (int q = 0; q < %d; q = q + 1)", walks)
+	s.line("int probe = (q * %d + %d) & %d;", c3, c4, keyMask)
+	s.line("int node = 1;")
+	s.open("while (node < %d)", size)
+	s.line("int k = key[node];")
+	s.line("acc = (acc + k) & 1073741823;")
+	s.open("if (probe < k)")
+	s.line("node = node * 2;")
+	s.alt()
+	s.line("node = node * 2 + 1;")
+	s.close()
+	s.close()
+	s.close()
+	s.line("return acc;")
+	s.close()
+	return s.String()
+}

@@ -1,0 +1,126 @@
+package wlgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/doe"
+	"repro/internal/lang"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestCorpusDeterministicAndPrefixStable(t *testing.T) {
+	a := Corpus(42, 64)
+	b := Corpus(42, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("program %d not byte-identical across generations", i)
+		}
+	}
+	prefix := Corpus(42, 16)
+	for i := range prefix {
+		if prefix[i] != a[i] {
+			t.Fatalf("Corpus(seed, 16)[%d] != Corpus(seed, 64)[%d]: corpora must be prefix-stable", i, i)
+		}
+	}
+	other := Corpus(43, 64)
+	same := 0
+	for i := range a {
+		if a[i].Source == other[i].Source {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different corpus seeds produced identical corpora")
+	}
+}
+
+func TestCorpusCoversEveryTemplate(t *testing.T) {
+	seen := map[string]int{}
+	for _, p := range Corpus(7, 120) {
+		seen[p.Template]++
+	}
+	for _, name := range TemplateNames() {
+		if seen[name] == 0 {
+			t.Errorf("template %q never drawn across 120 programs", name)
+		}
+	}
+}
+
+func TestRegisterCorpusJoinsWorkloadRegistry(t *testing.T) {
+	ps := Corpus(99, 3)
+	RegisterCorpus(ps)
+	for _, p := range ps {
+		w, err := workloads.Get(p.Name, workloads.Train)
+		if err != nil {
+			t.Fatalf("%s not resolvable after RegisterCorpus: %v", p.Name, err)
+		}
+		if w.Source != p.Source {
+			t.Errorf("%s: registry returned different source", p.Name)
+		}
+	}
+}
+
+// TestGeneratedProgramsValidAndConformant is the wlgen validity property
+// test: over a corpus of 52 seeds, every generated program parses, passes
+// semantic checking, compiles cleanly at O0, O3 and a random point of the
+// paper's 14-variable compiler space, computes the same result under all
+// three configurations, stays inside the intended dynamic-size band, and
+// (sampled) the detailed timing simulator agrees with the functional
+// executor on the exit value.
+func TestGeneratedProgramsValidAndConformant(t *testing.T) {
+	space := doe.CompilerSpace()
+	rng := rand.New(rand.NewSource(1))
+	for i, p := range Corpus(20070308, 52) {
+		p := p
+		// Draw randomness outside the parallel subtest: rng is not
+		// goroutine-safe.
+		opts := doe.ToOptions(space.RandomPoint(rng), 4)
+		runTiming := i%8 == 0
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			ast, err := lang.Parse(p.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := lang.Check(ast); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			var ref int64
+			for ci, o := range []compiler.Options{compiler.O0(), compiler.O3(), opts} {
+				prog, _, err := compiler.Compile(ast, o)
+				if err != nil {
+					t.Fatalf("compile config %d (%v): %v", ci, o, err)
+				}
+				exe := sim.NewExecutor(prog)
+				n, rv, err := exe.Run(20_000_000)
+				if err != nil {
+					t.Fatalf("run config %d: %v", ci, err)
+				}
+				switch {
+				case ci == 0:
+					ref = rv
+					if n < 5_000 {
+						t.Errorf("trivial program: only %d dynamic instructions at O0", n)
+					}
+					if n > 5_000_000 {
+						t.Errorf("oversized program: %d dynamic instructions at O0", n)
+					}
+				case rv != ref:
+					t.Errorf("config %d result %d != O0 result %d", ci, rv, ref)
+				}
+				if runTiming && ci == 2 {
+					st, err := sim.Simulate(prog, sim.DefaultConfig(), 20_000_000)
+					if err != nil {
+						t.Fatalf("timing sim: %v", err)
+					}
+					if st.ExitValue != ref {
+						t.Errorf("timing sim exit value %d != executor result %d", st.ExitValue, ref)
+					}
+				}
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ package workloads
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/lang"
@@ -57,12 +58,64 @@ func (w Workload) Parse() *lang.Program {
 	return p.(*lang.Program)
 }
 
-// Names lists the seven benchmarks in the paper's order.
+// SourceFunc builds the MiniC source of a benchmark at one input class.
+type SourceFunc func(class InputClass) string
+
+// registry is the single lookup table behind Get: the seven seed benchmarks
+// register themselves in init, and generated corpora (internal/wlgen) join
+// through Register, so both share one resolution path.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]SourceFunc{}
+)
+
+// Register adds (or replaces) a benchmark in the lookup table. The seed
+// suite registers itself at init; internal/wlgen registers generated
+// corpora. Registering an existing name replaces it — corpus regeneration
+// under a new generator seed owns its names.
+func Register(name string, src SourceFunc) {
+	if src == nil {
+		panic("workloads: Register with nil source builder")
+	}
+	regMu.Lock()
+	registry[name] = src
+	regMu.Unlock()
+}
+
+func init() {
+	for name, src := range map[string]SourceFunc{
+		"164.gzip":   gzipSource,
+		"175.vpr":    vprSource,
+		"177.mesa":   mesaSource,
+		"179.art":    artSource,
+		"181.mcf":    mcfSource,
+		"255.vortex": vortexSource,
+		"256.bzip2":  bzip2Source,
+	} {
+		Register(name, src)
+	}
+}
+
+// Names lists the seven seed benchmarks in the paper's order. Registered
+// corpora are not included; see Registered for the full table.
 func Names() []string {
 	return []string{
 		"164.gzip", "175.vpr", "177.mesa", "179.art",
 		"181.mcf", "255.vortex", "256.bzip2",
 	}
+}
+
+// Registered lists every benchmark name Get resolves — the seed suite plus
+// anything added through Register — in sorted order.
+func Registered() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
 }
 
 // inputLabel mirrors the paper's program-input naming (Table 3/7).
@@ -88,32 +141,20 @@ func inputLabel(name string, class InputClass) string {
 	}
 }
 
-// Get returns the named workload at the given input class.
+// Get returns the named workload at the given input class, resolving
+// through the registry that the seed suite and generated corpora share.
 func Get(name string, class InputClass) (Workload, error) {
-	var src string
-	switch name {
-	case "164.gzip":
-		src = gzipSource(class)
-	case "175.vpr":
-		src = vprSource(class)
-	case "177.mesa":
-		src = mesaSource(class)
-	case "179.art":
-		src = artSource(class)
-	case "181.mcf":
-		src = mcfSource(class)
-	case "255.vortex":
-		src = vortexSource(class)
-	case "256.bzip2":
-		src = bzip2Source(class)
-	default:
+	regMu.RLock()
+	src, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
 		return Workload{}, fmt.Errorf("workloads: unknown benchmark %q", name)
 	}
 	return Workload{
 		Name:   name,
 		Input:  inputLabel(name, class),
 		Class:  class,
-		Source: src,
+		Source: src(class),
 	}, nil
 }
 

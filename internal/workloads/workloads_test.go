@@ -21,8 +21,12 @@ func TestNamesAndGet(t *testing.T) {
 	if len(Names()) != 7 {
 		t.Fatal("the suite has seven benchmarks")
 	}
+	// The registry refactor must preserve the exact error text clients and
+	// scripts match on.
 	if _, err := Get("999.bogus", Train); err == nil {
 		t.Fatal("unknown benchmark should error")
+	} else if got, want := err.Error(), `workloads: unknown benchmark "999.bogus"`; got != want {
+		t.Errorf("unknown-benchmark error = %q, want %q", got, want)
 	}
 	w := MustGet("164.gzip", Train)
 	if w.Key() != "164.gzip-graphic" {
@@ -97,5 +101,37 @@ func TestWorkloadsDeterministic(t *testing.T) {
 	b, _ := run(t, w, compiler.O2())
 	if a != b {
 		t.Fatal("workload must be deterministic")
+	}
+}
+
+func TestRegisterJoinsGetLookupPath(t *testing.T) {
+	Register("999.custom", func(class InputClass) string {
+		if class == Ref {
+			return "int main() { return 2; }\n"
+		}
+		return "int main() { return 1; }\n"
+	})
+	w, err := Get("999.custom", Train)
+	if err != nil {
+		t.Fatalf("registered benchmark not resolvable: %v", err)
+	}
+	if w.Name != "999.custom" || w.Class != Train || w.Input != "train" {
+		t.Errorf("workload fields wrong: %+v", w)
+	}
+	if r := MustGet("999.custom", Ref); r.Source == w.Source {
+		t.Error("source builder must see the input class")
+	}
+	found := false
+	for _, n := range Registered() {
+		if n == "999.custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Registered() misses a registered name")
+	}
+	// The seed suite stays exactly the paper's seven.
+	if len(Names()) != 7 {
+		t.Error("Register must not grow the seed suite")
 	}
 }
