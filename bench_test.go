@@ -861,6 +861,93 @@ func BenchmarkDistributedSweep(b *testing.B) {
 	b.ReportMetric(float64(nGroups), "groups")
 }
 
+// heteroSweepPoints builds n single-point shared-binary groups by varying
+// the unroll factor: every point compiles differently, so the coordinator
+// plans exactly n groups of one point each and placement granularity equals
+// group granularity — the shape that isolates the dispatcher's slot
+// accounting from farm-side batching effects.
+func heteroSweepPoints(n int) []doe.Point {
+	var pts []doe.Point
+	for f := 0; f < n; f++ {
+		opts := compiler.O2()
+		opts.UnrollLoops = true
+		opts.MaxUnrollTimes = f + 2
+		pts = append(pts, doe.JoinPoint(doe.FromOptions(opts), doe.FromConfig(sim.DefaultConfig())))
+	}
+	return pts
+}
+
+// BenchmarkHeterogeneousSweep runs the same sweep over a deliberately
+// lopsided fleet — one single-slot worker and one worker advertising three
+// slots — first under the pre-elastic uniform MaxInFlight cap, then with
+// capacity-weighted dispatch driven by registration-time slot counts. Both
+// workers have the same fixed per-point service time, so the ratio isolates
+// what slot-aware placement buys: the uniform cap over-subscribes the small
+// worker (its extra lease just queues behind a one-thread farm) while
+// starving the big one (capped below its parallelism). Gated by `benchcheck
+// -set dist` with a hard 1.3x floor.
+func BenchmarkHeterogeneousSweep(b *testing.B) {
+	const (
+		nGroups  = 16
+		perPoint = 20 * time.Millisecond
+	)
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := heteroSweepPoints(nGroups)
+	measure := func(ctx context.Context, job farm.Job) (farm.Result, error) {
+		select {
+		case <-time.After(perPoint):
+		case <-ctx.Done():
+			return farm.Result{}, ctx.Err()
+		}
+		return farm.Result{Cycles: 1, Energy: 1, Instructions: 1}, nil
+	}
+	run := func(weighted bool) time.Duration {
+		// Fresh workers per run: each keeps a worker-local store, and a
+		// warm cache would turn the second leg into a zero-sim replay.
+		small := dist.NewWorker(dist.WorkerOptions{Workers: 1, Measure: measure, Heartbeat: 5 * time.Millisecond})
+		big := dist.NewWorker(dist.WorkerOptions{Workers: 3, Measure: measure, Heartbeat: 5 * time.Millisecond})
+		tsSmall := httptest.NewServer(small.Handler())
+		tsBig := httptest.NewServer(big.Handler())
+		var co *dist.Coordinator
+		var err error
+		if weighted {
+			co, err = dist.New(dist.Options{Dynamic: true, HedgeMin: -1})
+			if err == nil {
+				if _, err = co.Register(tsSmall.URL, 1); err == nil {
+					_, err = co.Register(tsBig.URL, 3)
+				}
+			}
+		} else {
+			co, err = dist.New(dist.Options{Addrs: []string{tsSmall.URL, tsBig.URL}, HedgeMin: -1})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := co.MeasureBatch(context.Background(), w, points, farm.Cycles); err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if st := co.Stats(); st.BinaryGroups != nGroups {
+			b.Fatalf("planned %d groups, want %d", st.BinaryGroups, nGroups)
+		}
+		co.Close()
+		tsSmall.Close()
+		tsBig.Close()
+		small.Close()
+		big.Close()
+		return elapsed
+	}
+	var uniform, capacity time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uniform += run(false)
+		capacity += run(true)
+	}
+	b.ReportMetric(capacity.Seconds()*1e3/float64(b.N), "hetero-ms")
+	b.ReportMetric(uniform.Seconds()/capacity.Seconds(), "hetero-speedup-x")
+}
+
 // batchWorkloadSource generates the shared-trace benchmark workload: many
 // mid-sized functions so O3 inlining and unrolling make compilation the
 // dominant cost, with a short dynamic run (~110k committed instructions).

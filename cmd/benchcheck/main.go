@@ -140,6 +140,12 @@ type DistNumbers struct {
 	DistSpeedupX float64 `json:"dist_speedup_x"`
 	// Groups is the number of shared-binary groups the sweep planned into.
 	Groups float64 `json:"groups"`
+	// HeteroMs is wall-clock milliseconds for the capacity-weighted sweep
+	// over the lopsided 1-slot/3-slot fleet, from BenchmarkHeterogeneousSweep.
+	HeteroMs float64 `json:"hetero_ms"`
+	// HeteroSpeedupX is the uniform-cap/capacity-weighted wall-clock ratio
+	// from the same benchmark.
+	HeteroSpeedupX float64 `json:"hetero_speedup_x"`
 }
 
 func main() {
@@ -150,6 +156,7 @@ func main() {
 	minDOptSpeedup := flag.Float64("min-doptimal-speedup", 3, "hard floor on the model set's doptimal_speedup_x")
 	minSharedSpeedup := flag.Float64("min-shared-speedup", 2, "hard floor on the farm set's shared_speedup_x")
 	minDistSpeedup := flag.Float64("min-dist-speedup", 1.7, "hard floor on the dist set's dist_speedup_x")
+	minHeteroSpeedup := flag.Float64("min-hetero-speedup", 1.3, "hard floor on the dist set's hetero_speedup_x")
 	minBBSpeedup := flag.Float64("min-bb-speedup", 0.97, "floor on the sim set's bb_vs_fused_x (parity minus host jitter)")
 	minCkptSpeedup := flag.Float64("min-ckpt-speedup", 2, "hard floor on the sim set's warm_checkpoint_hit_speedup")
 	maxP99 := flag.Float64("max-p99-ms", 250, "hard cap on the serve set's p99_ms (the SLO)")
@@ -176,7 +183,7 @@ func main() {
 	case "farm":
 		checkFarm(lines, *baselinePath, *outPath, *maxRegress, *minSharedSpeedup)
 	case "dist":
-		checkDist(lines, *baselinePath, *outPath, *maxRegress, *minDistSpeedup)
+		checkDist(lines, *baselinePath, *outPath, *maxRegress, *minDistSpeedup, *minHeteroSpeedup)
 	case "serve":
 		checkServe(lines, *baselinePath, *outPath, *maxRegress, *maxP99, *maxErrRate)
 	default:
@@ -349,28 +356,42 @@ func checkFarm(lines []benchLine, baselinePath, outPath string, maxRegress, minS
 	}
 }
 
-func checkDist(lines []benchLine, baselinePath, outPath string, maxRegress, minDistSpeedup float64) {
+func checkDist(lines []benchLine, baselinePath, outPath string, maxRegress, minDistSpeedup, minHeteroSpeedup float64) {
 	cur := &DistNumbers{}
-	var have bool
+	var have, haveHetero bool
 	for _, l := range lines {
-		if strings.HasPrefix(l.name, "BenchmarkDistributedSweep") {
+		switch {
+		case strings.HasPrefix(l.name, "BenchmarkDistributedSweep"):
 			cur.TwoWorkerMs = l.metrics["two-worker-ms"]
 			cur.DistSpeedupX = l.metrics["dist-speedup-x"]
 			cur.Groups = l.metrics["groups"]
 			have = true
+		case strings.HasPrefix(l.name, "BenchmarkHeterogeneousSweep"):
+			cur.HeteroMs = l.metrics["hetero-ms"]
+			cur.HeteroSpeedupX = l.metrics["hetero-speedup-x"]
+			haveHetero = true
 		}
 	}
 	if !have {
 		fatal(fmt.Errorf("benchcheck: dist set needs BenchmarkDistributedSweep, not found in input"))
+	}
+	if !haveHetero {
+		fatal(fmt.Errorf("benchcheck: dist set needs BenchmarkHeterogeneousSweep, not found in input"))
 	}
 
 	base := &DistNumbers{}
 	writeAndLoadBaseline(cur, base, baselinePath, outPath)
 	fmt.Printf("benchcheck: two-worker sweep %.0fms, %.2fx vs one worker (%d groups)\n",
 		cur.TwoWorkerMs, cur.DistSpeedupX, int(cur.Groups))
+	fmt.Printf("benchcheck: heterogeneous sweep %.0fms, %.2fx vs uniform cap\n",
+		cur.HeteroMs, cur.HeteroSpeedupX)
 	if cur.DistSpeedupX < minDistSpeedup {
 		fatal(fmt.Errorf("benchcheck: distributed speedup %.2fx below floor %.1fx",
 			cur.DistSpeedupX, minDistSpeedup))
+	}
+	if cur.HeteroSpeedupX < minHeteroSpeedup {
+		fatal(fmt.Errorf("benchcheck: capacity-weighted speedup %.2fx below floor %.1fx",
+			cur.HeteroSpeedupX, minHeteroSpeedup))
 	}
 	if base.TwoWorkerMs <= 0 {
 		fmt.Println("benchcheck: no baseline, skipping regression check")
@@ -381,6 +402,14 @@ func checkDist(lines []benchLine, baselinePath, outPath string, maxRegress, minD
 	if ratio > 1+maxRegress {
 		fatal(fmt.Errorf("benchcheck: two_worker_ms regressed %.0f%% (limit %.0f%%)",
 			100*(ratio-1), 100*maxRegress))
+	}
+	if base.HeteroMs > 0 {
+		hratio := cur.HeteroMs / base.HeteroMs
+		fmt.Printf("benchcheck: hetero_ms %.2fx of baseline (%.0fms)\n", hratio, base.HeteroMs)
+		if hratio > 1+maxRegress {
+			fatal(fmt.Errorf("benchcheck: hetero_ms regressed %.0f%% (limit %.0f%%)",
+				100*(hratio-1), 100*maxRegress))
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -43,6 +44,7 @@ func main() {
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 		workers  = flag.Int("workers", 0, "measurement farm + analytics workers (0 = GOMAXPROCS, 1 = serial; results identical)")
 		waddrs   = flag.String("workers-addrs", "", "comma-separated empirico-worker addresses; measurements shard across them instead of running in-process (results identical)")
+		ctrlAddr = flag.String("control-addr", "", "serve the coordinator control API (worker register/deregister) on this address; implies an elastic fleet, usable with an empty -workers-addrs")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 
 		// -exp lopo only: leave-one-program-out over the seed suite plus a
@@ -66,12 +68,24 @@ func main() {
 	if !*quiet {
 		h.Log = os.Stderr
 	}
-	if *waddrs != "" {
-		addrs := strings.Split(*waddrs, ",")
+	if *waddrs != "" || *ctrlAddr != "" {
+		var addrs []string
+		if *waddrs != "" {
+			addrs = strings.Split(*waddrs, ",")
+		}
 		h.MakeBackend = func(fo farm.Options) farm.Backend {
-			c, err := dist.New(dist.Options{Addrs: addrs, Store: fo.Store, Log: fo.Log})
+			c, err := dist.New(dist.Options{Addrs: addrs, Dynamic: *ctrlAddr != "", Store: fo.Store, Log: fo.Log})
 			if err != nil {
 				fatal(err)
+			}
+			if *ctrlAddr != "" {
+				// The control listener lives as long as the process; workers
+				// register and deregister against it while experiments run.
+				go func() {
+					if err := http.ListenAndServe(*ctrlAddr, c.Handler()); err != nil {
+						fmt.Fprintln(os.Stderr, "empirico: control listener:", err)
+					}
+				}()
 			}
 			return c
 		}

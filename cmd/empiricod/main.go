@@ -63,6 +63,7 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for HTTP handlers")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain timeout for in-flight measurement leases")
 		waddrs   = flag.String("workers-addrs", "", "comma-separated empirico-worker addresses; measurements shard across them instead of running in-process")
+		ctrlAddr = flag.String("control-addr", "", "serve the coordinator control API (worker register/deregister) on this address; implies an elastic fleet, usable with an empty -workers-addrs")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 
 		crossSeed = flag.Int64("cross-seed", 0, "predict-program: wlgen corpus seed (0 = default)")
@@ -93,17 +94,27 @@ func main() {
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
-	if *waddrs != "" {
-		addrs := strings.Split(*waddrs, ",")
+	if *waddrs != "" || *ctrlAddr != "" {
+		var addrs []string
+		if *waddrs != "" {
+			addrs = strings.Split(*waddrs, ",")
+		}
 		opts.MakeBackend = func(fo farm.Options) farm.Backend {
-			c, err := dist.New(dist.Options{Addrs: addrs, Store: fo.Store, Log: fo.Log})
+			c, err := dist.New(dist.Options{Addrs: addrs, Dynamic: *ctrlAddr != "", Store: fo.Store, Log: fo.Log})
 			if err != nil {
 				fatal(err)
+			}
+			if *ctrlAddr != "" {
+				go func() {
+					if err := http.ListenAndServe(*ctrlAddr, c.Handler()); err != nil {
+						fmt.Fprintln(os.Stderr, "empiricod: control listener:", err)
+					}
+				}()
 			}
 			return c
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "empiricod: sharding measurements across %d workers\n", len(addrs))
+			fmt.Fprintf(os.Stderr, "empiricod: sharding measurements across workers (%d static, control %s)\n", len(addrs), *ctrlAddr)
 		}
 	}
 	srv := serve.New(opts)

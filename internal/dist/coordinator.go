@@ -2,10 +2,12 @@ package dist
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sync"
 	"time"
 
@@ -16,15 +18,26 @@ import (
 
 // Options configures a Coordinator.
 type Options struct {
-	// Addrs are the worker endpoints ("host:port" or full base URLs).
-	// At least one is required.
+	// Addrs are the worker endpoints ("host:port" or full base URLs) known
+	// at construction. At least one is required unless Dynamic is set —
+	// a dynamic coordinator may start with an empty fleet and acquire
+	// workers through Register (queued work waits for the first one).
 	Addrs []string
-	// Store holds completed measurements; nil means a fresh in-memory
-	// store. The store is coordinator-owned — workers never persist.
+	// Dynamic permits an empty initial fleet; registration (the control
+	// Handler or the Register method) grows it at runtime.
+	Dynamic bool
+	// Store holds the coordinator's merged measurements; nil means a fresh
+	// in-memory store. Workers may keep their own journaled stores, which
+	// the coordinator pulls and merges into this one on Checkpoint.
 	Store *farm.Store
-	// MaxInFlight caps the groups leased to one worker at a time
-	// (backpressure; 0 = 2).
+	// MaxInFlight is the slot budget assumed for workers that did not
+	// advertise one (the statically-configured Addrs; 0 = 2). Workers that
+	// register advertise their own capacity and get a budget proportional
+	// to it.
 	MaxInFlight int
+	// PullTimeout bounds one round of worker store-delta pulls during
+	// Checkpoint and Close (0 = 2s).
+	PullTimeout time.Duration
 	// LeaseTimeout is the longest silence tolerated on a group's result
 	// stream before the lease expires and the group is requeued (0 = 15s).
 	// Workers heartbeat well under this.
@@ -57,6 +70,8 @@ type Coordinator struct {
 	maxAttempts int
 	cap         int
 
+	pull time.Duration
+
 	mu           sync.Mutex
 	cond         *sync.Cond
 	queue        []*dispatchReq
@@ -77,15 +92,21 @@ type Coordinator struct {
 }
 
 // coStats are the coordinator's instrumentation counters, all guarded by
-// statMu and updated in one critical section per logical event.
+// statMu and updated in one critical section per logical event. The
+// per-worker slices are indexed like Coordinator.workers and append-only:
+// registration grows them (under both locks), removal never shrinks them,
+// so a worker's history survives its departure.
 type coStats struct {
 	hits, misses, coalesced      int64
 	sims, instrs, fails, budget  int64
 	groups, traceShared          int64
 	dispatched, hedged, requeued int64
-	workersLive                  int64
+	localHits                    int64
+	merges, mergeConflicts       int64
 	workerJobs                   []int64
 	workerBusyNanos              []int64
+	workerGroups                 []int64
+	workerLocalHits              []int64
 	// latencies of recently completed group leases (seconds), the input
 	// to the p95 hedging threshold.
 	latencies []float64
@@ -113,6 +134,7 @@ type cgroup struct {
 	attempts   int // failed leases so far
 	leases     int // leases currently on the wire for this group
 	leaseSeqs  map[int64]struct{}
+	onWorkers  map[int]int // active leases per worker index; hedges must land elsewhere
 	hedged     bool
 	done       bool
 	lastWorker int
@@ -125,13 +147,22 @@ type dispatchReq struct {
 	hedge bool
 }
 
-// workerRef is the coordinator's view of one worker process.
+// workerRef is the coordinator's view of one worker process. The worker
+// slice is append-only — indices are baked into leases and the stat arrays,
+// so a departing worker is flagged removed rather than deleted, and a
+// returning address reclaims its old entry.
 type workerRef struct {
 	addr string
 	base string // normalized base URL
 	// guarded by Coordinator.mu:
 	inflight int
+	slots    int // lease budget; registered workers advertise their capacity
 	live     bool
+	removed  bool // deregistered: no new leases, in-flight leases complete
+	// store-delta pull progress: how far into the worker's journaled store
+	// (identified by its boot ID) the coordinator has merged.
+	storeCursor int
+	storeBoot   string
 }
 
 var errClosed = errors.New("dist: coordinator closed")
@@ -140,7 +171,7 @@ var errClosed = errors.New("dist: coordinator closed")
 // IO — workers are contacted lazily on first dispatch, so a worker that is
 // still starting up costs a retry, not a construction failure.
 func New(opts Options) (*Coordinator, error) {
-	if len(opts.Addrs) == 0 {
+	if len(opts.Addrs) == 0 && !opts.Dynamic {
 		return nil, errors.New("dist: no worker addresses")
 	}
 	c := &Coordinator{
@@ -174,15 +205,197 @@ func New(opts Options) (*Coordinator, error) {
 	if c.cap <= 0 {
 		c.cap = 2
 	}
-	for _, addr := range opts.Addrs {
-		c.workers = append(c.workers, &workerRef{addr: addr, base: baseURL(addr), live: true})
+	c.pull = opts.PullTimeout
+	if c.pull <= 0 {
+		c.pull = 2 * time.Second
 	}
-	c.st.workersLive = int64(len(c.workers))
+	// Static addresses did not advertise a capacity; they get the uniform
+	// MaxInFlight budget, which is exactly the pre-elastic behavior.
+	for _, addr := range opts.Addrs {
+		c.workers = append(c.workers, &workerRef{addr: addr, base: baseURL(addr), live: true, slots: c.cap})
+	}
 	c.st.workerJobs = make([]int64, len(c.workers))
 	c.st.workerBusyNanos = make([]int64, len(c.workers))
+	c.st.workerGroups = make([]int64, len(c.workers))
+	c.st.workerLocalHits = make([]int64, len(c.workers))
 	c.cond = sync.NewCond(&c.mu)
 	go c.scheduler()
 	return c, nil
+}
+
+// Register adds a worker to the fleet mid-run (or refreshes one that
+// deregistered: the address reclaims its entry and history). slots is the
+// worker's advertised capacity — its lease budget for capacity-weighted
+// placement; 0 means the coordinator's MaxInFlight default. The worker
+// starts receiving leases immediately. Returns the active fleet size.
+func (c *Coordinator) Register(addr string, slots int) (int, error) {
+	if slots <= 0 {
+		slots = c.cap
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, errClosed
+	}
+	found := false
+	for _, w := range c.workers {
+		if w.addr == addr {
+			w.slots = slots
+			w.removed = false
+			w.live = true
+			found = true
+			break
+		}
+	}
+	if !found {
+		c.workers = append(c.workers, &workerRef{addr: addr, base: baseURL(addr), live: true, slots: slots})
+		c.statMu.Lock()
+		c.st.workerJobs = append(c.st.workerJobs, 0)
+		c.st.workerBusyNanos = append(c.st.workerBusyNanos, 0)
+		c.st.workerGroups = append(c.st.workerGroups, 0)
+		c.st.workerLocalHits = append(c.st.workerLocalHits, 0)
+		c.statMu.Unlock()
+	}
+	n := c.fleetSizeLocked()
+	c.mu.Unlock()
+	c.cond.Broadcast() // queued work may now be dispatchable
+	c.logf("dist: registered worker %s (slots %d), fleet %d", addr, slots, n)
+	return n, nil
+}
+
+// Deregister withdraws a worker gracefully: it gets no new leases, in-flight
+// leases run to completion, and its store delta is pulled one last time in
+// the background while the process is presumably still up. (A worker that
+// dies without deregistering is handled by lease expiry instead.) Returns
+// the active fleet size; deregistering an unknown address is a no-op.
+func (c *Coordinator) Deregister(addr string) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, errClosed
+	}
+	pull := false
+	for _, w := range c.workers {
+		if w.addr == addr && !w.removed {
+			w.removed = true
+			pull = w.live
+		}
+	}
+	n := c.fleetSizeLocked()
+	c.mu.Unlock()
+	c.logf("dist: deregistered worker %s, fleet %d", addr, n)
+	if pull {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), c.pull)
+			defer cancel()
+			c.pullWorker(ctx, addr)
+		}()
+	}
+	return n, nil
+}
+
+// fleetSizeLocked counts non-removed workers.
+func (c *Coordinator) fleetSizeLocked() int {
+	n := 0
+	for _, w := range c.workers {
+		if !w.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// PullDeltas fetches every reachable fleet member's journaled store delta
+// and merges it into the coordinator's store, last-write-wins. The merge is
+// idempotent, so a lost cursor (worker reboot, coordinator restart) only
+// costs a resend, never a wrong value. Per-worker failures are logged, not
+// returned — a dead worker must not block a checkpoint.
+func (c *Coordinator) PullDeltas(ctx context.Context) (added, conflicts int) {
+	c.mu.Lock()
+	var addrs []string
+	for _, w := range c.workers {
+		if !w.removed && w.live {
+			addrs = append(addrs, w.addr)
+		}
+	}
+	c.mu.Unlock()
+	var (
+		wg  sync.WaitGroup
+		tmu sync.Mutex
+	)
+	for _, addr := range addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			a, cf := c.pullWorker(ctx, addr)
+			tmu.Lock()
+			added += a
+			conflicts += cf
+			tmu.Unlock()
+		}(addr)
+	}
+	wg.Wait()
+	return added, conflicts
+}
+
+// pullWorker pulls one worker's store delta from the coordinator's cursor
+// and merges it. The cursor and the worker's boot ID travel with the
+// request; a worker that rebooted since the cursor was taken ignores the
+// stale cursor and resends everything (Merge skips what the coordinator
+// already holds).
+func (c *Coordinator) pullWorker(ctx context.Context, addr string) (added, conflicts int) {
+	c.mu.Lock()
+	var w *workerRef
+	for _, cand := range c.workers {
+		if cand.addr == addr {
+			w = cand
+			break
+		}
+	}
+	if w == nil {
+		c.mu.Unlock()
+		return 0, 0
+	}
+	base, cursor, boot := w.base, w.storeCursor, w.storeBoot
+	c.mu.Unlock()
+
+	u := fmt.Sprintf("%s/v1/store?cursor=%d&boot=%s", base, cursor, url.QueryEscape(boot))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		c.logf("dist: store pull from %s: %v", addr, err)
+		return 0, 0
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.logf("dist: store pull from %s: %v", addr, err)
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.logf("dist: store pull from %s: %s", addr, resp.Status)
+		return 0, 0
+	}
+	var d StoreDelta
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		c.logf("dist: store pull from %s: %v", addr, err)
+		return 0, 0
+	}
+	if len(d.Entries) > 0 {
+		var merr error
+		added, conflicts, merr = c.store.Merge(d.Entries)
+		if merr != nil {
+			c.logf("dist: store merge from %s: %v", addr, merr)
+			return 0, 0
+		}
+		c.bump(func(s *coStats) {
+			s.merges++
+			s.mergeConflicts += int64(conflicts)
+		})
+	}
+	c.mu.Lock()
+	w.storeCursor, w.storeBoot = d.Next, d.Boot
+	c.mu.Unlock()
+	return added, conflicts
 }
 
 func baseURL(addr string) string {
@@ -207,8 +420,16 @@ func (c *Coordinator) logf(format string, args ...interface{}) {
 // Store exposes the coordinator-owned result store.
 func (c *Coordinator) Store() *farm.Store { return c.store }
 
-// Checkpoint flushes the store to its durable checkpoint file.
-func (c *Coordinator) Checkpoint() error { return c.store.Checkpoint() }
+// Checkpoint pulls every reachable worker's store delta, merges it, and
+// flushes the merged store to its durable checkpoint file — so a
+// coordinator checkpoint subsumes the fleet's partitioned caches as of that
+// instant, and coordinator state survives worker churn.
+func (c *Coordinator) Checkpoint() error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.pull)
+	c.PullDeltas(ctx)
+	cancel()
+	return c.store.Checkpoint()
+}
 
 // Do runs one job through the cache, single-flight and dispatch layers.
 func (c *Coordinator) Do(ctx context.Context, job farm.Job) (farm.Result, error) {
@@ -310,6 +531,7 @@ func (c *Coordinator) DoJobs(ctx context.Context, jobs []farm.Job) ([]farm.Resul
 			w: ts[0].job.Workload, tasks: ts, ctx: ctx,
 			lastWorker: -1, finished: make(chan struct{}),
 			leaseSeqs: map[int64]struct{}{},
+			onWorkers: map[int]int{},
 		}
 		c.queue = append(c.queue, &dispatchReq{g: g})
 	}
@@ -397,6 +619,12 @@ func (c *Coordinator) Close() error {
 		c.finishGroupLocked(req.g, nil, nil, errClosed)
 	}
 	c.mu.Unlock()
+	// Last chance to fold the fleet's partitioned caches into the durable
+	// checkpoint; workers already gone were marked dead by their failed
+	// leases and are skipped, so this costs at most one pull round.
+	ctx, cancel := context.WithTimeout(context.Background(), c.pull)
+	c.PullDeltas(ctx)
+	cancel()
 	return c.store.Close()
 }
 
@@ -466,14 +694,36 @@ func (c *Coordinator) finishGroupLocked(g *cgroup, results []farm.Result, errs [
 	}
 }
 
-// Stats snapshots the coordinator's counters tear-free (one statMu
-// acquisition), in the same shape the in-process farm reports so /metrics
-// and the harness log work unchanged. Workers is the worker-process count;
-// compile-cache counters stay zero because compilation happens worker-side.
+// Stats snapshots the coordinator's counters, in the same shape the
+// in-process farm reports so /metrics and the harness log work unchanged.
+// The fleet view (membership, slots, in-flight) is captured under mu and
+// the counters under one statMu acquisition, so each group of fields is
+// internally tear-free. Workers counts every worker ever seen (the
+// PerWorker slice keeps departed workers, flagged Removed, so their history
+// survives); compile-cache counters stay zero because compilation happens
+// worker-side.
 func (c *Coordinator) Stats() farm.Stats {
+	type wmeta struct {
+		addr            string
+		slots, inflight int
+		removed         bool
+	}
+	c.mu.Lock()
+	metas := make([]wmeta, len(c.workers))
+	live := int64(0)
+	for i, w := range c.workers {
+		metas[i] = wmeta{addr: w.addr, slots: w.slots, inflight: w.inflight, removed: w.removed}
+		if w.live && !w.removed {
+			live++
+		}
+	}
+	c.mu.Unlock()
+
+	// Registration appends stat-array entries while holding both locks, so
+	// the arrays here are at least as long as the fleet snapshot above.
 	c.statMu.Lock()
 	st := farm.Stats{
-		Workers:         len(c.workers),
+		Workers:         len(metas),
 		CacheHits:       c.st.hits,
 		CacheMisses:     c.st.misses,
 		Coalesced:       c.st.coalesced,
@@ -484,16 +734,25 @@ func (c *Coordinator) Stats() farm.Stats {
 		TraceSharedSims: c.st.traceShared,
 		BinaryGroups:    c.st.groups,
 
-		GroupsDispatched: c.st.dispatched,
-		GroupsHedged:     c.st.hedged,
-		GroupsRequeued:   c.st.requeued,
-		WorkersLive:      c.st.workersLive,
+		GroupsDispatched:    c.st.dispatched,
+		GroupsHedged:        c.st.hedged,
+		GroupsRequeued:      c.st.requeued,
+		WorkersLive:         live,
+		WorkerLocalHits:     c.st.localHits,
+		StoreMerges:         c.st.merges,
+		StoreMergeConflicts: c.st.mergeConflicts,
 	}
-	st.PerWorker = make([]farm.WorkerStats, len(c.workers))
-	for i := range st.PerWorker {
+	st.PerWorker = make([]farm.WorkerStats, len(metas))
+	for i, m := range metas {
 		st.PerWorker[i] = farm.WorkerStats{
-			Jobs: c.st.workerJobs[i],
-			Busy: time.Duration(c.st.workerBusyNanos[i]),
+			Addr:      m.addr,
+			Jobs:      c.st.workerJobs[i],
+			Busy:      time.Duration(c.st.workerBusyNanos[i]),
+			Slots:     int64(m.slots),
+			InFlight:  int64(m.inflight),
+			Groups:    c.st.workerGroups[i],
+			LocalHits: c.st.workerLocalHits[i],
+			Removed:   m.removed,
 		}
 	}
 	c.statMu.Unlock()

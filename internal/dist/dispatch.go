@@ -14,32 +14,33 @@ import (
 )
 
 // scheduler is the single goroutine that matches queued groups to workers
-// with free lease slots. It blocks while the queue is empty, every worker
-// is at its in-flight cap (backpressure: a huge batch queues here instead
-// of overwhelming the workers), or the coordinator is draining.
+// with free lease slots. It blocks while the queue is empty, every active
+// worker is at its slot budget (backpressure: a huge batch queues here
+// instead of overwhelming the workers), or the coordinator is draining.
 func (c *Coordinator) scheduler() {
 	defer close(c.schedDone)
 	for {
 		c.mu.Lock()
-		for !c.closed && (c.draining || !c.dispatchableLocked()) {
+		var req *dispatchReq
+		wi := -1
+		for {
+			if c.closed {
+				c.mu.Unlock()
+				return
+			}
+			if !c.draining {
+				if req, wi = c.takeDispatchableLocked(); req != nil {
+					break
+				}
+			}
 			c.cond.Wait()
 		}
-		if c.closed {
-			c.mu.Unlock()
-			return
-		}
-		req := c.queue[0]
-		c.queue = c.queue[1:]
-		if req.g.done {
-			c.mu.Unlock()
-			continue
-		}
-		wi := c.pickWorkerLocked(req.g)
 		w := c.workers[wi]
 		wasLive := w.live
 		w.inflight++
 		req.g.leases++
 		req.g.lastWorker = wi
+		req.g.onWorkers[wi]++
 		c.leases++
 		seq := c.leaseSeq
 		c.leaseSeq++
@@ -54,49 +55,68 @@ func (c *Coordinator) scheduler() {
 			}
 		})
 		c.mu.Unlock()
-		go c.runLease(req.g, wi, seq, lctx, wasLive)
+		go c.runLease(req.g, w, wi, seq, lctx, wasLive)
 		if !hedge {
 			go c.hedgeTimer(req.g)
 		}
 	}
 }
 
-// dispatchableLocked reports whether the queue head can be leased now.
-func (c *Coordinator) dispatchableLocked() bool {
-	if len(c.queue) == 0 {
-		return false
-	}
-	for _, w := range c.workers {
-		if w.inflight < c.cap {
-			return true
+// takeDispatchableLocked scans the queue for the first request that can be
+// leased now, removes it and returns it with its placement. Requests for
+// already-finished groups are dropped in passing. A hedge whose moment has
+// passed — no eligible worker by the time it reaches the front — is dropped
+// too, never left to camp on capacity that primary work needs; primaries
+// keep strict FIFO order, so an undispatchable primary ends the scan (no
+// later request can have capacity it lacks).
+func (c *Coordinator) takeDispatchableLocked() (*dispatchReq, int) {
+	i := 0
+	for i < len(c.queue) {
+		req := c.queue[i]
+		if req.g.done {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			continue
 		}
+		wi := c.pickWorkerLocked(req.g, req.hedge)
+		if wi >= 0 {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return req, wi
+		}
+		if req.hedge {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			c.logf("dist: dropping hedge for %s group: no spare capacity", req.g.w.Key())
+			continue
+		}
+		return nil, -1
 	}
-	return false
+	return nil, -1
 }
 
-// pickWorkerLocked chooses the lease target: the least-loaded worker with a
-// free slot, preferring live workers and avoiding the group's previous
-// worker (so requeues and hedges land somewhere new when possible).
-func (c *Coordinator) pickWorkerLocked(g *cgroup) int {
-	best := -1
-	score := func(i int) (int, bool) {
-		w := c.workers[i]
-		if w.inflight >= c.cap {
-			return 0, false
+// pickWorkerLocked chooses the lease target by least relative load: among
+// active workers with a free slot — excluding, for hedges, workers already
+// leasing this group — pick the one with the smallest inflight/slots ratio,
+// so a 3-slot worker carries ~3× the load of a 1-slot one. Suspect workers
+// and the group's previous worker are deprioritized by loading the
+// numerator; the comparison cross-multiplies to stay in integers.
+func (c *Coordinator) pickWorkerLocked(g *cgroup, hedge bool) int {
+	best, bestNum, bestSlots := -1, 0, 1
+	for i, w := range c.workers {
+		if w.removed || w.inflight >= w.slots {
+			continue
 		}
-		s := w.inflight * 4
+		if hedge && g.onWorkers[i] > 0 {
+			continue
+		}
+		num := w.inflight * 4
 		if !w.live {
-			s += 2
+			num += 2
 		}
 		if i == g.lastWorker {
-			s++
+			num++
 		}
-		return s, true
-	}
-	bestScore := 0
-	for i := range c.workers {
-		if s, ok := score(i); ok && (best == -1 || s < bestScore) {
-			best, bestScore = i, s
+		// num/slots < bestNum/bestSlots ⇔ num·bestSlots < bestNum·slots.
+		if best == -1 || num*bestSlots < bestNum*w.slots {
+			best, bestNum, bestSlots = i, num, w.slots
 		}
 	}
 	return best
@@ -107,7 +127,7 @@ func (c *Coordinator) pickWorkerLocked(g *cgroup) int {
 // group latencies, floored at HedgeMin). The first lease to finish wins via
 // finishGroupLocked; the loser's context is cancelled there.
 func (c *Coordinator) hedgeTimer(g *cgroup) {
-	if c.hedgeMin < 0 || len(c.workers) < 2 {
+	if c.hedgeMin < 0 {
 		return
 	}
 	delay := c.hedgeDelay()
@@ -120,6 +140,15 @@ func (c *Coordinator) hedgeTimer(g *cgroup) {
 	}
 	c.mu.Lock()
 	if !g.done && !g.hedged && !c.draining && !c.closed && g.leases > 0 {
+		// A hedge is strictly opportunistic: it must never overcommit a
+		// worker's slot budget and never queue ahead of primary work that is
+		// itself waiting for capacity. No eligible worker right now means no
+		// hedge at all — by the time capacity frees, a queued twin would be
+		// stale anyway (takeDispatchableLocked drops that race's leftovers).
+		if c.pickWorkerLocked(g, true) == -1 || c.queuedPrimariesLocked() {
+			c.mu.Unlock()
+			return
+		}
 		g.hedged = true
 		c.queue = append(c.queue, &dispatchReq{g: g, hedge: true})
 		c.logf("dist: hedging %s group of %d after %s", g.w.Key(), len(g.tasks), delay.Round(time.Millisecond))
@@ -128,6 +157,17 @@ func (c *Coordinator) hedgeTimer(g *cgroup) {
 		return
 	}
 	c.mu.Unlock()
+}
+
+// queuedPrimariesLocked reports whether primary (non-hedge) dispatches are
+// waiting; a hedge has no business taking a slot a real group needs.
+func (c *Coordinator) queuedPrimariesLocked() bool {
+	for _, r := range c.queue {
+		if !r.hedge && !r.g.done {
+			return true
+		}
+	}
+	return false
 }
 
 // hedgeDelay is the straggler threshold: p95 of recently completed group
@@ -161,9 +201,12 @@ const probeDelay = 250 * time.Millisecond
 // twin is still running. wasLive records whether the worker looked healthy
 // at dispatch time: failures on an already-suspect worker don't spend the
 // group's attempt budget as long as healthier workers exist.
-func (c *Coordinator) runLease(g *cgroup, wi int, seq int64, ctx context.Context, wasLive bool) {
+// The workerRef is passed in (rather than re-indexed) because the worker
+// slice header mutates under mu as registrations append; the ref itself is
+// stable for the coordinator's lifetime.
+func (c *Coordinator) runLease(g *cgroup, w *workerRef, wi int, seq int64, ctx context.Context, wasLive bool) {
 	start := time.Now()
-	results, errs, err := c.streamGroup(ctx, c.workers[wi].base, g, seq)
+	results, errs, localHits, err := c.streamGroup(ctx, w.base, g, seq)
 	busy := time.Since(start)
 
 	c.mu.Lock()
@@ -172,23 +215,20 @@ func (c *Coordinator) runLease(g *cgroup, wi int, seq int64, ctx context.Context
 		defer cancel() // release the context once the bookkeeping is done
 	}
 	delete(g.leaseSeqs, seq)
-	w := c.workers[wi]
 	w.inflight--
 	g.leases--
 	c.leases--
-	liveBefore := w.live
-	w.live = err == nil || ctx.Err() != nil // a cancelled lease says nothing about health
-	if w.live != liveBefore {
-		delta := int64(1)
-		if !w.live {
-			delta = -1
-		}
-		c.bump(func(s *coStats) { s.workersLive += delta })
+	if g.onWorkers[wi]--; g.onWorkers[wi] <= 0 {
+		delete(g.onWorkers, wi)
 	}
+	w.live = err == nil || ctx.Err() != nil // a cancelled lease says nothing about health
 	c.bump(func(s *coStats) {
 		s.workerJobs[wi]++
 		s.workerBusyNanos[wi] += busy.Nanoseconds()
 		if err == nil {
+			s.workerGroups[wi]++
+			s.workerLocalHits[wi] += int64(localHits)
+			s.localHits += int64(localHits)
 			s.latencies = append(s.latencies, busy.Seconds())
 			if len(s.latencies) > 512 {
 				s.latencies = append(s.latencies[:0], s.latencies[256:]...)
@@ -236,10 +276,10 @@ func (c *Coordinator) runLease(g *cgroup, wi int, seq int64, ctx context.Context
 	c.cond.Broadcast()
 }
 
-// anyLiveLocked reports whether some worker still looks healthy.
+// anyLiveLocked reports whether some active worker still looks healthy.
 func (c *Coordinator) anyLiveLocked() bool {
 	for _, w := range c.workers {
-		if w.live {
+		if w.live && !w.removed {
 			return true
 		}
 	}
@@ -275,29 +315,30 @@ func (c *Coordinator) requeueLocked(g *cgroup, delay time.Duration) {
 // streamGroup posts one group to a worker and consumes its ndjson stream.
 // Every line — heartbeat or result — renews the lease; silence past the
 // lease timeout means the worker died mid-group (crash, kill -9, network
-// partition) and the lease expires.
-func (c *Coordinator) streamGroup(ctx context.Context, base string, g *cgroup, seq int64) ([]farm.Result, []error, error) {
+// partition) and the lease expires. localHits reports how many of the
+// group's points the worker answered from its own journaled store.
+func (c *Coordinator) streamGroup(ctx context.Context, base string, g *cgroup, seq int64) (_ []farm.Result, _ []error, localHits int, err error) {
 	body, err := json.Marshal(GroupRequest{
 		Lease:    fmt.Sprintf("l%d", seq),
 		Workload: toWire(g.w),
 		Points:   wirePoints(g.tasks),
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/group", bytes.NewReader(body))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, nil, fmt.Errorf("dist: worker %s: %s: %s", base, resp.Status, bytes.TrimSpace(msg))
+		return nil, nil, 0, fmt.Errorf("dist: worker %s: %s: %s", base, resp.Status, bytes.TrimSpace(msg))
 	}
 
 	lines := make(chan GroupLine)
@@ -334,22 +375,22 @@ func (c *Coordinator) streamGroup(ctx context.Context, base string, g *cgroup, s
 			case l.Heartbeat:
 			case l.Done:
 				if got != len(g.tasks) {
-					return nil, nil, fmt.Errorf("dist: incomplete group from %s: %d/%d results", base, got, len(g.tasks))
+					return nil, nil, 0, fmt.Errorf("dist: incomplete group from %s: %d/%d results", base, got, len(g.tasks))
 				}
-				return results, errs, nil
+				return results, errs, l.LocalHits, nil
 			case l.Result:
 				if l.Index < 0 || l.Index >= len(results) {
-					return nil, nil, fmt.Errorf("dist: result index %d out of range from %s", l.Index, base)
+					return nil, nil, 0, fmt.Errorf("dist: result index %d out of range from %s", l.Index, base)
 				}
 				results[l.Index], errs[l.Index] = l.result()
 				got++
 			}
 		case rerr := <-readErr:
-			return nil, nil, fmt.Errorf("dist: worker %s stream: %w", base, rerr)
+			return nil, nil, 0, fmt.Errorf("dist: worker %s stream: %w", base, rerr)
 		case <-expire.C:
-			return nil, nil, fmt.Errorf("dist: lease expired: no line from %s in %s", base, c.lease)
+			return nil, nil, 0, fmt.Errorf("dist: lease expired: no line from %s in %s", base, c.lease)
 		case <-ctx.Done():
-			return nil, nil, ctx.Err()
+			return nil, nil, 0, ctx.Err()
 		}
 	}
 }

@@ -363,9 +363,57 @@ func TestStatsConsistentUnderLoad(t *testing.T) {
 					report("more completions (%d) than misses (%d)", st.SimsExecuted+st.Failures, st.CacheMisses)
 					return
 				}
+				var pwGroups, pwHits int64
+				for _, pw := range st.PerWorker {
+					if pw.InFlight < 0 || pw.InFlight > pw.Slots {
+						report("worker %s in-flight %d outside its %d slots", pw.Addr, pw.InFlight, pw.Slots)
+						return
+					}
+					pwGroups += pw.Groups
+					pwHits += pw.LocalHits
+				}
+				if pwGroups > st.GroupsDispatched {
+					report("per-worker groups (%d) exceed dispatches (%d)", pwGroups, st.GroupsDispatched)
+					return
+				}
+				if pwHits != st.WorkerLocalHits {
+					report("per-worker local hits %d != aggregate %d", pwHits, st.WorkerLocalHits)
+					return
+				}
+				if st.StoreMergeConflicts > 0 {
+					report("deterministic stub produced %d merge conflicts", st.StoreMergeConflicts)
+					return
+				}
 			}
 		}()
 	}
+
+	// Membership churn runs concurrently with the batches: a third worker
+	// registers, is pulled from (Checkpoint), and deregisters in a loop,
+	// exercising fleet mutation against dispatch, stats and merge paths.
+	churner := NewWorker(WorkerOptions{Workers: 2, Measure: stubMeasure(nil, 0), Heartbeat: 10 * time.Millisecond})
+	churnTS := httptest.NewServer(churner.Handler())
+	defer churnTS.Close()
+	defer churner.Close()
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := p.co.Register(churnTS.URL, 3); err != nil {
+				return
+			}
+			p.co.Checkpoint()
+			if _, err := p.co.Deregister(churnTS.URL); err != nil {
+				return
+			}
+		}
+	}()
 
 	w := workloads.MustGet("179.art", workloads.Train)
 	for round := 0; round < 4; round++ {
@@ -374,6 +422,7 @@ func TestStatsConsistentUnderLoad(t *testing.T) {
 		}
 	}
 	close(stop)
+	churn.Wait()
 	readers.Wait()
 	select {
 	case msg := <-torn:

@@ -1,0 +1,502 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/workloads"
+)
+
+// gatedMeasure blocks each measurement until gate closes (or the lease is
+// cancelled), then returns the deterministic stub value — a worker whose
+// service time the test controls.
+func gatedMeasure(gate chan struct{}, execs *atomic.Int64) farm.MeasureFunc {
+	return func(ctx context.Context, job farm.Job) (farm.Result, error) {
+		if execs != nil {
+			execs.Add(1)
+		}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return farm.Result{}, ctx.Err()
+		}
+		return farm.Result{Cycles: pointValue(job.Point), Energy: 2 * pointValue(job.Point), Instructions: 1000}, nil
+	}
+}
+
+// TestRegistrationGrowsAndShrinksFleet pins dynamic membership end to end
+// through the control API: a dynamic coordinator starts with no workers and
+// queued work, a worker registering over HTTP unblocks it, a second
+// registration spreads subsequent load, and a deregistered worker gets no
+// further leases while in-flight work still completes.
+func TestRegistrationGrowsAndShrinksFleet(t *testing.T) {
+	var execs1, execs2 atomic.Int64
+	w1 := NewWorker(WorkerOptions{Workers: 2, Measure: stubMeasure(&execs1, 0), Heartbeat: 10 * time.Millisecond})
+	ts1 := httptest.NewServer(w1.Handler())
+	defer ts1.Close()
+	defer w1.Close()
+	w2 := NewWorker(WorkerOptions{Workers: 2, Measure: stubMeasure(&execs2, 0), Heartbeat: 10 * time.Millisecond})
+	ts2 := httptest.NewServer(w2.Handler())
+	defer ts2.Close()
+	defer w2.Close()
+
+	co, err := New(Options{Dynamic: true, HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	control := httptest.NewServer(co.Handler())
+	defer control.Close()
+
+	// Work submitted into an empty fleet queues rather than failing.
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := randomPoints(6, 31)
+	batchDone := make(chan error, 1)
+	go func() {
+		_, err := co.MeasureBatch(context.Background(), w, points, farm.Cycles)
+		batchDone <- err
+	}()
+	select {
+	case err := <-batchDone:
+		t.Fatalf("batch finished with no workers: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// First worker joins over the wire and the queue drains to it.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := RegisterWorker(ctx, control.URL, ts1.URL, 2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-batchDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never completed after registration")
+	}
+	if execs1.Load() != int64(len(points)) {
+		t.Fatalf("first worker executed %d of %d points", execs1.Load(), len(points))
+	}
+
+	// Second worker joins mid-run; later load reaches it.
+	if err := RegisterWorker(ctx, control.URL, ts2.URL, 2); err != nil {
+		t.Fatal(err)
+	}
+	var infos []WorkerInfo
+	resp, err := http.Get(control.URL + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 2 {
+		t.Fatalf("fleet view has %d workers, want 2: %+v", len(infos), infos)
+	}
+	if _, err := co.MeasureBatch(context.Background(), w, randomPoints(12, 32), farm.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	if execs2.Load() == 0 {
+		t.Fatal("registered second worker never received work")
+	}
+
+	// Deregistering the first worker over the wire stops its leases; the
+	// remaining worker carries the next batch alone.
+	body, _ := json.Marshal(RegisterRequest{Addr: ts1.URL})
+	req, _ := http.NewRequest(http.MethodDelete, control.URL+"/v1/register", bytes.NewReader(body))
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("deregister: %s", dresp.Status)
+	}
+	before := execs1.Load()
+	if _, err := co.MeasureBatch(context.Background(), w, randomPoints(8, 33), farm.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	if execs1.Load() != before {
+		t.Fatalf("deregistered worker measured %d new points", execs1.Load()-before)
+	}
+	st := co.Stats()
+	if st.WorkersLive != 1 {
+		t.Fatalf("workers live = %d, want 1 after deregistration", st.WorkersLive)
+	}
+	var removed int
+	for _, pw := range st.PerWorker {
+		if pw.Removed {
+			removed++
+		}
+	}
+	if removed != 1 {
+		t.Fatalf("%d workers flagged removed, want 1: %+v", removed, st.PerWorker)
+	}
+}
+
+// TestCapacityWeightedDispatch pins the placement policy: with one 1-slot
+// and one 3-slot worker and service time pinned equal, the big worker must
+// carry roughly three times the jobs — uniform caps would split them evenly.
+func TestCapacityWeightedDispatch(t *testing.T) {
+	var small, big atomic.Int64
+	ws := NewWorker(WorkerOptions{Workers: 1, Measure: stubMeasure(&small, 20*time.Millisecond), Heartbeat: 10 * time.Millisecond})
+	tsS := httptest.NewServer(ws.Handler())
+	defer tsS.Close()
+	defer ws.Close()
+	wb := NewWorker(WorkerOptions{Workers: 3, Measure: stubMeasure(&big, 20*time.Millisecond), Heartbeat: 10 * time.Millisecond})
+	tsB := httptest.NewServer(wb.Handler())
+	defer tsB.Close()
+	defer wb.Close()
+
+	co, err := New(Options{Dynamic: true, HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	if _, err := co.Register(tsS.URL, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Register(tsB.URL, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// 24 single-point groups with equal service time: the 3-slot worker
+	// should complete ~3 for every 1 on the 1-slot worker.
+	w := workloads.MustGet("179.art", workloads.Train)
+	if _, err := co.MeasureBatch(context.Background(), w, randomPoints(24, 34), farm.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	nSmall, nBig := small.Load(), big.Load()
+	if nSmall+nBig != 24 {
+		t.Fatalf("fleet executed %d points, want 24", nSmall+nBig)
+	}
+	if nBig < 2*nSmall {
+		t.Fatalf("capacity-weighted placement failed: 3-slot worker got %d, 1-slot got %d (want ≥2×)", nBig, nSmall)
+	}
+	st := co.Stats()
+	if len(st.PerWorker) != 2 || st.PerWorker[0].Slots != 1 || st.PerWorker[1].Slots != 3 {
+		t.Fatalf("advertised slots lost: %+v", st.PerWorker)
+	}
+	if st.PerWorker[0].Groups+st.PerWorker[1].Groups != st.GroupsDispatched {
+		t.Fatalf("per-worker groups %d+%d do not sum to dispatched %d",
+			st.PerWorker[0].Groups, st.PerWorker[1].Groups, st.GroupsDispatched)
+	}
+}
+
+// TestHedgeRespectsSlotBudgets is the overcommit regression test: with every
+// slot in the fleet occupied, hedge timers firing must not lease (or queue)
+// a second copy of any group — a hedge that would overcommit capacity is
+// skipped outright, and freed slots go to primary work, never stale hedges.
+func TestHedgeRespectsSlotBudgets(t *testing.T) {
+	gate1, gate2 := make(chan struct{}), make(chan struct{})
+	w1 := NewWorker(WorkerOptions{Workers: 1, Measure: gatedMeasure(gate1, nil), Heartbeat: 10 * time.Millisecond})
+	ts1 := httptest.NewServer(w1.Handler())
+	defer ts1.Close()
+	defer w1.Close()
+	w2 := NewWorker(WorkerOptions{Workers: 1, Measure: gatedMeasure(gate2, nil), Heartbeat: 10 * time.Millisecond})
+	ts2 := httptest.NewServer(w2.Handler())
+	defer ts2.Close()
+	defer w2.Close()
+
+	co, err := New(Options{
+		Addrs:       []string{ts1.URL, ts2.URL},
+		MaxInFlight: 1, // one slot per worker: two in-flight groups saturate the fleet
+		HedgeMin:    30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := sweepPoints(2, 1) // two groups, one per worker
+	batchDone := make(chan error, 1)
+	go func() {
+		_, err := co.MeasureBatch(context.Background(), w, points, farm.Cycles)
+		batchDone <- err
+	}()
+	waitForDispatch(t, co, 2)
+
+	// Both hedge timers fire into a saturated fleet and must stand down.
+	time.Sleep(150 * time.Millisecond)
+	if st := co.Stats(); st.GroupsHedged != 0 || st.GroupsDispatched != 2 {
+		t.Fatalf("saturated fleet: hedged=%d dispatched=%d, want 0/2", st.GroupsHedged, st.GroupsDispatched)
+	}
+
+	// Freeing one worker must not resurrect a hedge for the other's group:
+	// the hedge opportunity passed while the fleet was saturated.
+	close(gate2)
+	time.Sleep(100 * time.Millisecond)
+	if st := co.Stats(); st.GroupsHedged != 0 {
+		t.Fatalf("freed slot was spent on a stale hedge: hedged=%d", st.GroupsHedged)
+	}
+	close(gate1)
+	if err := <-batchDone; err != nil {
+		t.Fatal(err)
+	}
+	st := co.Stats()
+	if st.GroupsDispatched != 2 || st.GroupsHedged != 0 {
+		t.Fatalf("final: dispatched=%d hedged=%d, want 2/0", st.GroupsDispatched, st.GroupsHedged)
+	}
+	if st.SimsExecuted != int64(len(points)) {
+		t.Fatalf("sims=%d, want %d", st.SimsExecuted, len(points))
+	}
+}
+
+// TestWarmWorkerStoreSurvivesCoordinatorRestart is the tentpole acceptance
+// pin: a worker holding its own journaled store answers a repeat sweep from
+// a brand-new coordinator (which lost all coordinator-side state) with zero
+// simulations — the partitioned cache, not the coordinator store, carries
+// the warmth. The worker's own restart is covered too: a new worker process
+// over the same store files is just as warm.
+func TestWarmWorkerStoreSurvivesCoordinatorRestart(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "worker-store.json")
+	openWorkerStore := func() *farm.Store {
+		st, err := farm.Open(storePath, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	var execs atomic.Int64
+	wk := NewWorker(WorkerOptions{Workers: 2, Store: openWorkerStore(), Measure: stubMeasure(&execs, 0), Heartbeat: 10 * time.Millisecond})
+	ts := httptest.NewServer(wk.Handler())
+
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := randomPoints(8, 35)
+
+	co1, err := New(Options{Addrs: []string{ts.URL}, HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := co1.MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cold := execs.Load()
+	if cold != int64(len(points)) {
+		t.Fatalf("cold sweep executed %d, want %d", cold, len(points))
+	}
+
+	// Coordinator "restarts" with nothing: fresh in-memory store, no cursor
+	// state. The sweep repeats bit-identically with zero worker sims.
+	co2, err := New(Options{Addrs: []string{ts.URL}, HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := co2.MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if got[i] != want[i] {
+			t.Fatalf("point %d changed across coordinator restart: %v -> %v", i, want[i], got[i])
+		}
+	}
+	if n := execs.Load(); n != cold {
+		t.Fatalf("warm sweep simulated: %d executions before, %d after", cold, n)
+	}
+	st := co2.Stats()
+	if st.WorkerLocalHits != int64(len(points)) {
+		t.Fatalf("worker local hits = %d, want %d", st.WorkerLocalHits, len(points))
+	}
+	if len(st.PerWorker) != 1 || st.PerWorker[0].LocalHits != int64(len(points)) {
+		t.Fatalf("per-worker local hits: %+v", st.PerWorker)
+	}
+	if err := co2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker restart: a new process over the same store files replays its
+	// journal and stays warm.
+	ts.Close()
+	if err := wk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wk2 := NewWorker(WorkerOptions{Workers: 2, Store: openWorkerStore(), Measure: stubMeasure(&execs, 0), Heartbeat: 10 * time.Millisecond})
+	ts2 := httptest.NewServer(wk2.Handler())
+	defer ts2.Close()
+	defer wk2.Close()
+	co3, err := New(Options{Addrs: []string{ts2.URL}, HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co3.Close()
+	got3, err := co3.MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if got3[i] != want[i] {
+			t.Fatalf("point %d changed across worker restart: %v -> %v", i, want[i], got3[i])
+		}
+	}
+	if n := execs.Load(); n != cold {
+		t.Fatalf("restarted worker simulated: %d executions total, want %d", n, cold)
+	}
+}
+
+// TestCheckpointMergesWorkerDeltas pins the pull/merge path: a coordinator
+// that never dispatched anything inherits a worker's journaled measurements
+// through Checkpoint, serves them as cache hits, and re-merging (fresh
+// coordinator, lost cursor) is a conflict-free no-op.
+func TestCheckpointMergesWorkerDeltas(t *testing.T) {
+	dir := t.TempDir()
+	wk := NewWorker(WorkerOptions{Workers: 2, Measure: stubMeasure(nil, 0), Heartbeat: 10 * time.Millisecond})
+	ts := httptest.NewServer(wk.Handler())
+	defer ts.Close()
+	defer wk.Close()
+
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := randomPoints(6, 36)
+
+	// Populate the worker's local store through a first coordinator.
+	co1, err := New(Options{Addrs: []string{ts.URL}, HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := co1.MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second coordinator with a durable store of its own measures nothing:
+	// one checkpoint pulls the worker's whole delta.
+	openStore := func() *farm.Store {
+		st, err := farm.Open(filepath.Join(dir, "coordinator.json"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	co2, err := New(Options{Addrs: []string{ts.URL}, Store: openStore(), HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := co2.Stats()
+	if st.StoreMerges == 0 {
+		t.Fatalf("checkpoint pulled no deltas: %+v", st)
+	}
+	if st.StoreMergeConflicts != 0 {
+		t.Fatalf("identical values counted as conflicts: %d", st.StoreMergeConflicts)
+	}
+	if n := co2.Store().Len(); n != 2*len(points) {
+		t.Fatalf("merged store has %d entries, want %d (cycles+energy per point)", n, 2*len(points))
+	}
+	got, err := co2.MeasureBatch(context.Background(), w, points, farm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if got[i] != want[i] {
+			t.Fatalf("merged value diverged at %d: %v -> %v", i, want[i], got[i])
+		}
+	}
+	st = co2.Stats()
+	if st.GroupsDispatched != 0 || st.CacheHits != int64(len(points)) {
+		t.Fatalf("merged sweep went to the wire: dispatched=%d hits=%d", st.GroupsDispatched, st.CacheHits)
+	}
+	// The cursor advanced: a second checkpoint pulls an empty delta.
+	merges := st.StoreMerges
+	if err := co2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st = co2.Stats(); st.StoreMerges != merges {
+		t.Fatalf("empty delta counted as a merge: %d -> %d", merges, st.StoreMerges)
+	}
+	if err := co2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator restart after the merge: journal replay restores every
+	// merged entry, and the forced full re-pull (lost cursor) changes
+	// nothing — idempotence across restarts.
+	co3, err := New(Options{Addrs: []string{ts.URL}, Store: openStore(), HedgeMin: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co3.Close()
+	if n := co3.Store().Len(); n != 2*len(points) {
+		t.Fatalf("restart lost merged entries: %d, want %d", n, 2*len(points))
+	}
+	if err := co3.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st = co3.Stats()
+	if st.StoreMergeConflicts != 0 {
+		t.Fatalf("re-merge after restart produced conflicts: %d", st.StoreMergeConflicts)
+	}
+	if n := co3.Store().Len(); n != 2*len(points) {
+		t.Fatalf("re-merge changed the store: %d entries, want %d", n, 2*len(points))
+	}
+}
+
+// TestWorkerKillLosesNothingJournaled pins the crash half of the merge
+// semantics: results stream into the coordinator's journal the moment they
+// finish, so killing the worker before any checkpoint-time pull loses
+// nothing — the pull is an optimization, not the durability path.
+func TestWorkerKillLosesNothingJournaled(t *testing.T) {
+	dir := t.TempDir()
+	wk := NewWorker(WorkerOptions{Workers: 2, Measure: stubMeasure(nil, 0), Heartbeat: 10 * time.Millisecond})
+	ts := httptest.NewServer(wk.Handler())
+	defer wk.Close()
+
+	storePath := filepath.Join(dir, "coordinator.json")
+	st, err := farm.Open(storePath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := New(Options{Addrs: []string{ts.URL}, Store: st, HedgeMin: -1, PullTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := workloads.MustGet("179.art", workloads.Train)
+	points := randomPoints(5, 37)
+	if _, err := co.MeasureBatch(context.Background(), w, points, farm.Cycles); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the worker before any pull; checkpoint and close must still
+	// succeed with every measured key durable.
+	ts.Close()
+	if err := co.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := farm.Open(storePath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for _, p := range points {
+		k := farm.Key(w, p)
+		if _, _, ok := re.Get2(k, farm.EnergyKey(k)); !ok {
+			t.Fatalf("worker kill lost %s from the coordinator journal", k)
+		}
+	}
+}

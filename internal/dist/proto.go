@@ -5,17 +5,28 @@
 // plans batches into farm.BinaryKey groups exactly as farm.DoJobs does and
 // leases whole groups to workers, so the compile-once/interpret-once
 // sharing of the batch planner survives distribution (a group split across
-// workers would recompile and re-interpret per shard). Workers are
-// stateless measurers wrapping a local in-memory farm; the durable store
-// stays coordinator-owned and results are journaled through the existing
-// farm.Store path, so crash semantics are unchanged from the in-process
-// plane.
+// workers would recompile and re-interpret per shard). Workers wrap a local
+// farm over an optionally journaled worker-local store: a worker that
+// already measured a group answers from its own cache with zero
+// simulations, and the coordinator pulls each worker's store delta on
+// checkpoint and merges it (idempotent, last-write-wins) into its own
+// durable store — worker-local caches survive coordinator restarts and
+// coordinator state survives worker churn. Results still journal through
+// the coordinator's farm.Store the moment they stream in, so crash
+// semantics are no weaker than the in-process plane.
+//
+// The fleet is elastic: workers join (POST /v1/register) and leave
+// (DELETE /v1/register) a running coordinator, advertising their slot count
+// at registration; placement is capacity-weighted (least relative load
+// against per-worker slot budgets) so heterogeneous fleets get load
+// proportional to capacity.
 //
 // Failure handling lives entirely on the coordinator: a lease whose result
 // stream goes silent past the lease timeout expires and the group is
 // requeued to another worker; a group that exceeds ~p95 of completed group
-// latencies is hedged (re-leased to a second worker, first result wins
-// through the coordinator's single-flight dedup); per-worker in-flight caps
+// latencies is hedged (re-leased to a second worker that is not already
+// leasing it, only when the fleet has spare capacity, first result wins
+// through the coordinator's single-flight dedup); per-worker slot budgets
 // provide backpressure.
 package dist
 
@@ -80,7 +91,50 @@ type GroupLine struct {
 	Error string `json:"error,omitempty"`
 	Class string `json:"class,omitempty"`
 
-	Done bool `json:"done,omitempty"`
+	// Done terminates the stream. LocalHits rides on the done line: how many
+	// of the group's points the worker answered from its own journaled store
+	// without simulating (the partitioned-store cache-hit path).
+	Done      bool `json:"done,omitempty"`
+	LocalHits int  `json:"local_hits,omitempty"`
+}
+
+// RegisterRequest announces a worker to a running coordinator
+// (POST /v1/register) or withdraws it (DELETE /v1/register). Addr is the
+// address the coordinator should lease groups to; Slots is the worker's
+// advertised capacity (its local farm's pool size), the input to
+// capacity-weighted placement.
+type RegisterRequest struct {
+	Addr  string `json:"addr"`
+	Slots int    `json:"slots,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration change with the
+// coordinator's current fleet size.
+type RegisterResponse struct {
+	OK      bool `json:"ok"`
+	Workers int  `json:"workers"`
+}
+
+// WorkerInfo is one row of GET /v1/workers, the coordinator's view of a
+// fleet member.
+type WorkerInfo struct {
+	Addr     string `json:"addr"`
+	Slots    int    `json:"slots"`
+	InFlight int    `json:"in_flight"`
+	Live     bool   `json:"live"`
+	Removed  bool   `json:"removed,omitempty"`
+}
+
+// StoreDelta is a worker's answer to GET /v1/store?cursor=N: every entry its
+// journaled store recorded after the cursor, plus the next cursor and the
+// worker's boot identity. Cursors are positions in the worker store's
+// arrival order and are only comparable within one boot — a coordinator
+// holding a cursor from a previous boot re-pulls from zero (merge is
+// idempotent, so the re-pull is just traffic).
+type StoreDelta struct {
+	Boot    string    `json:"boot"`
+	Next    int       `json:"next"`
+	Entries []farm.KV `json:"entries"`
 }
 
 // result converts a result line back into the farm's types.

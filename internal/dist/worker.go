@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -13,7 +15,9 @@ import (
 
 // WorkerOptions configures a measurement worker.
 type WorkerOptions struct {
-	// Workers bounds the local farm's pool (0 = GOMAXPROCS).
+	// Workers bounds the local farm's pool (0 = GOMAXPROCS). The count is
+	// also the slot budget a worker advertises when it registers with a
+	// coordinator.
 	Workers int
 	// MaxInstrs bounds each simulation (0 = the farm default of 500M).
 	// Coordinators and workers must agree on the budget for bit-identical
@@ -23,6 +27,12 @@ type WorkerOptions struct {
 	// measures (0 = 500ms). It must be well under the coordinator's lease
 	// timeout.
 	Heartbeat time.Duration
+	// Store is the worker's own journaled measurement store (nil = fresh
+	// in-memory store). With a durable store, a worker that already measured
+	// a group answers repeat leases from local cache with zero simulations —
+	// across its own restarts and across coordinator restarts. The worker's
+	// farm owns the store and closes it on Close.
+	Store *farm.Store
 	// Measure, when non-nil, replaces the compile+simulate executor
 	// (test seam).
 	Measure farm.MeasureFunc
@@ -30,29 +40,41 @@ type WorkerOptions struct {
 	Log io.Writer
 }
 
-// Worker wraps a local, in-memory farm behind the group-lease API. It is
-// deliberately stateless: no durable store, no knowledge of other workers —
-// the coordinator owns durability, dedup and scheduling, so a worker can be
+// Worker wraps a local farm behind the group-lease API. Scheduling, dedup
+// and cross-worker durability stay coordinator-side, so a worker can be
 // killed and replaced at any moment without losing anything but in-flight
-// work (which the coordinator requeues on lease expiry).
+// work (which the coordinator requeues on lease expiry) — but each worker
+// keeps its own partition of the measurement store: results it computed,
+// journaled locally, served back instantly on repeat leases and shipped to
+// the coordinator as deltas via GET /v1/store.
 type Worker struct {
-	farm   *farm.Farm
-	hb     time.Duration
-	log    io.Writer
-	mux    *http.ServeMux
+	farm  *farm.Farm
+	store *farm.Store
+	boot  string // identifies this process lifetime; store cursors are scoped to it
+	hb    time.Duration
+	log   io.Writer
+	mux   *http.ServeMux
+
 	groups atomic.Int64
 	start  time.Time
 }
 
 // NewWorker builds a worker over a fresh local farm.
 func NewWorker(opts WorkerOptions) *Worker {
+	store := opts.Store
+	if store == nil {
+		store = farm.MemStore()
+	}
 	w := &Worker{
 		farm: farm.New(farm.Options{
 			Workers:   opts.Workers,
 			Measure:   opts.Measure,
 			MaxInstrs: opts.MaxInstrs,
+			Store:     store,
 			Log:       opts.Log,
 		}),
+		store: store,
+		boot:  fmt.Sprintf("%d-%d", os.Getpid(), time.Now().UnixNano()),
 		hb:    opts.Heartbeat,
 		log:   opts.Log,
 		start: time.Now(),
@@ -62,6 +84,7 @@ func NewWorker(opts WorkerOptions) *Worker {
 	}
 	w.mux = http.NewServeMux()
 	w.mux.HandleFunc("POST /v1/group", w.handleGroup)
+	w.mux.HandleFunc("GET /v1/store", w.handleStore)
 	w.mux.HandleFunc("GET /healthz", w.handleHealthz)
 	return w
 }
@@ -102,6 +125,18 @@ func (w *Worker) handleGroup(rw http.ResponseWriter, r *http.Request) {
 	jobs := jobsFromWire(&req)
 	w.logf("worker: lease %s: %s, %d points", req.Lease, jobs[0].Workload.Key(), len(jobs))
 
+	// Count up front how many points the local store already answers; the
+	// farm would serve them as cache hits anyway, but its counters are
+	// process-global, and the coordinator wants an exact per-group number
+	// for the done line.
+	localHits := 0
+	for _, j := range jobs {
+		key := farm.Key(j.Workload, j.Point)
+		if _, _, ok := w.store.Get2(key, farm.EnergyKey(key)); ok {
+			localHits++
+		}
+	}
+
 	type outcome struct {
 		res  []farm.Result
 		errs []error
@@ -140,7 +175,7 @@ func (w *Worker) handleGroup(rw http.ResponseWriter, r *http.Request) {
 				}
 				enc.Encode(line)
 			}
-			enc.Encode(GroupLine{Done: true})
+			enc.Encode(GroupLine{Done: true, LocalHits: localHits})
 			flush()
 			w.groups.Add(1)
 			return
@@ -151,6 +186,21 @@ func (w *Worker) handleGroup(rw http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleStore ships the worker's store delta: everything recorded after the
+// caller's cursor, or everything the store holds when the cursor belongs to
+// a different boot of this worker (cursors index the store's arrival order,
+// which does not survive a restart). Re-sending is safe — the coordinator's
+// merge skips entries it already holds.
+func (w *Worker) handleStore(rw http.ResponseWriter, r *http.Request) {
+	cursor, _ := strconv.Atoi(r.URL.Query().Get("cursor"))
+	if r.URL.Query().Get("boot") != w.boot {
+		cursor = 0
+	}
+	entries, next := w.store.Since(cursor)
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(StoreDelta{Boot: w.boot, Next: next, Entries: entries})
 }
 
 func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {

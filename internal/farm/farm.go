@@ -415,10 +415,29 @@ func (f *Farm) Close() error {
 	return f.store.Close()
 }
 
-// WorkerStats reports one worker's share of the farm's work.
+// WorkerStats reports one worker's share of the farm's work. For the
+// in-process farm a worker is one pool goroutine (Slots is always 1 and the
+// remote-plane fields stay zero); for the distributed coordinator a worker
+// is one empirico-worker process with an address, an advertised slot budget
+// and a worker-local result store.
 type WorkerStats struct {
 	Jobs int64
 	Busy time.Duration
+	// Addr identifies a remote worker process ("" for in-process workers).
+	Addr string
+	// Slots is the worker's lease capacity (its advertised -workers count on
+	// the distributed plane; 1 for an in-process pool goroutine).
+	Slots int64
+	// InFlight is the leases currently held by this worker.
+	InFlight int64
+	// Groups counts shared-binary groups this worker completed.
+	Groups int64
+	// LocalHits counts points this worker answered from its own journaled
+	// store without simulating.
+	LocalHits int64
+	// Removed marks a worker that deregistered (it takes no new leases but
+	// stays in the stats so its totals remain visible).
+	Removed bool
 }
 
 // Stats is a snapshot of the farm's instrumentation counters.
@@ -449,6 +468,14 @@ type Stats struct {
 	GroupsHedged     int64
 	GroupsRequeued   int64
 	WorkersLive      int64
+	// Elastic-plane counters. WorkerLocalHits totals the points remote
+	// workers answered from their own journaled stores (zero in-process);
+	// StoreMerges counts worker-delta pulls merged into the coordinator's
+	// store and StoreMergeConflicts the last-write-wins overwrites those
+	// merges performed (identical values are idempotent, not conflicts).
+	WorkerLocalHits     int64
+	StoreMerges         int64
+	StoreMergeConflicts int64
 	// Engine-tier counters. The translated-engine trio moves only for
 	// ungrouped detailed sims (grouped sims ride the shared-trace path);
 	// the checkpoint trio moves only in sampled mode, where
@@ -522,8 +549,9 @@ func (f *Farm) Stats() Stats {
 	st.PerWorker = make([]WorkerStats, f.workers)
 	for i := range st.PerWorker {
 		st.PerWorker[i] = WorkerStats{
-			Jobs: f.st.workerJobs[i],
-			Busy: time.Duration(f.st.workerBusyNanos[i]),
+			Jobs:  f.st.workerJobs[i],
+			Busy:  time.Duration(f.st.workerBusyNanos[i]),
+			Slots: 1,
 		}
 	}
 	f.statMu.Unlock()

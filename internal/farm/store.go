@@ -24,11 +24,16 @@ type Store struct {
 	path    string // checkpoint path; "" means memory-only
 	journal *os.File
 	m       map[string]float64
-	pending int // journal entries not yet folded into the checkpoint
+	order   []string // keys in arrival order, the Since cursor space
+	pending int      // journal entries not yet folded into the checkpoint
 	log     io.Writer
 }
 
-type journalEntry struct {
+// KV is one stored measurement on the wire and in the journal: the
+// measurement key and its value. It is the unit of Put, Since and Merge, so
+// the distributed plane can ship store deltas between processes in exactly
+// the representation the journal persists.
+type KV struct {
 	K string  `json:"k"`
 	V float64 `json:"v"`
 }
@@ -56,6 +61,13 @@ func Open(path string, logTo io.Writer) (*Store, error) {
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, err
+	}
+	// Loaded entries enter the Since cursor space too, so a reopened store
+	// can ship its whole contents as one delta from cursor 0. Map iteration
+	// order is arbitrary, which is why cursors are only meaningful within one
+	// store lifetime (Boot below).
+	for k := range s.m {
+		s.order = append(s.order, k)
 	}
 	if err := s.replayJournal(); err != nil {
 		return nil, err
@@ -93,7 +105,7 @@ func (s *Store) replayJournal() error {
 		if len(line) == 0 {
 			continue
 		}
-		var e journalEntry
+		var e KV
 		if err := json.Unmarshal(line, &e); err != nil {
 			// A torn final write from a crash; anything after it is
 			// untrustworthy, so stop here rather than resync.
@@ -101,6 +113,7 @@ func (s *Store) replayJournal() error {
 			break
 		}
 		s.m[e.K] = e.V
+		s.order = append(s.order, e.K)
 		replayed++
 	}
 	s.pending = replayed
@@ -131,11 +144,16 @@ func (s *Store) Get2(k1, k2 string) (float64, float64, bool) {
 // Put records the key/value pairs in memory and appends them to the journal
 // so they survive a crash before the next checkpoint. Pairs alternate
 // key, value semantics via the kv slice of entries.
-func (s *Store) Put(entries ...journalEntry) error {
+func (s *Store) Put(entries ...KV) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.putLocked(entries)
+}
+
+func (s *Store) putLocked(entries []KV) error {
 	for _, e := range entries {
 		s.m[e.K] = e.V
+		s.order = append(s.order, e.K)
 	}
 	if s.journal == nil {
 		return nil
@@ -158,8 +176,58 @@ func (s *Store) Put(entries ...journalEntry) error {
 	return nil
 }
 
+// Since returns the entries recorded after cursor (a value previously
+// returned as next, or 0 for everything) along with the new cursor. Cursors
+// are positions in this store's arrival order and are only meaningful within
+// one store lifetime — callers pairing Since with a remote store must reset
+// to 0 when the remote's boot identity changes. Values are read at call
+// time, so an entry overwritten since it was recorded ships its latest
+// value (merge is last-write-wins anyway).
+func (s *Store) Since(cursor int) (entries []KV, next int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(s.order) {
+		cursor = 0 // stale cursor from another lifetime: resend everything
+	}
+	for _, k := range s.order[cursor:] {
+		entries = append(entries, KV{K: k, V: s.m[k]})
+	}
+	return entries, len(s.order)
+}
+
+// Merge folds a delta from another store into this one, last-write-wins:
+// an entry whose key is absent is added, an entry equal to the stored value
+// is skipped (so replaying the same delta is a no-op that journals
+// nothing), and an entry that disagrees overwrites and is counted as a
+// conflict. Only changed entries touch the journal, which is what makes
+// merge idempotent on disk as well as in memory.
+func (s *Store) Merge(entries []KV) (added, conflicts int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := make([]KV, 0, len(entries))
+	for _, e := range entries {
+		old, ok := s.m[e.K]
+		switch {
+		case !ok:
+			added++
+		case old == e.V:
+			continue
+		default:
+			conflicts++
+		}
+		changed = append(changed, e)
+	}
+	if len(changed) == 0 {
+		return 0, 0, nil
+	}
+	return added, conflicts, s.putLocked(changed)
+}
+
 // Entry builds a journal entry; exported so callers can batch Put calls.
-func Entry(key string, v float64) journalEntry { return journalEntry{K: key, V: v} }
+func Entry(key string, v float64) KV { return KV{K: key, V: v} }
 
 // Len reports the number of stored measurements.
 func (s *Store) Len() int {

@@ -222,3 +222,127 @@ func TestCheckpointCrashBeforeRenameRecovers(t *testing.T) {
 		t.Fatalf("repaired store has %d entries, want 2", s3.Len())
 	}
 }
+
+func TestStoreSinceCursor(t *testing.T) {
+	s := MemStore()
+	if err := s.Put(Entry("a", 1), Entry("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	all, next := s.Since(0)
+	if len(all) != 2 || next != 2 {
+		t.Fatalf("Since(0) = %v, next %d; want 2 entries, next 2", all, next)
+	}
+	if err := s.Put(Entry("c", 3)); err != nil {
+		t.Fatal(err)
+	}
+	delta, next2 := s.Since(next)
+	if len(delta) != 1 || delta[0].K != "c" || delta[0].V != 3 || next2 != 3 {
+		t.Fatalf("Since(%d) = %v, next %d; want just c, next 3", next, delta, next2)
+	}
+	if empty, _ := s.Since(next2); len(empty) != 0 {
+		t.Fatalf("Since at head returned %v", empty)
+	}
+	// Out-of-range cursors (negative, or from another store lifetime with a
+	// longer order) fall back to a full resend — safe because Merge skips
+	// entries the receiver already holds.
+	for _, cur := range []int{-1, next2 + 10} {
+		if got, _ := s.Since(cur); len(got) != 3 {
+			t.Fatalf("Since(%d) = %d entries, want full resend of 3", cur, len(got))
+		}
+	}
+}
+
+func TestStoreMergeIdempotentAndLastWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "merged.json")
+	dst, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := []KV{{K: "a", V: 1}, {K: "b", V: 2}}
+
+	added, conflicts, err := dst.Merge(delta)
+	if err != nil || added != 2 || conflicts != 0 {
+		t.Fatalf("first merge: added=%d conflicts=%d err=%v", added, conflicts, err)
+	}
+	journalLen := func() int64 {
+		fi, err := os.Stat(path + ".journal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	before := journalLen()
+
+	// Replaying the identical delta is a no-op in memory and on disk.
+	added, conflicts, err = dst.Merge(delta)
+	if err != nil || added != 0 || conflicts != 0 {
+		t.Fatalf("replayed merge: added=%d conflicts=%d err=%v", added, conflicts, err)
+	}
+	if after := journalLen(); after != before {
+		t.Fatalf("idempotent merge grew the journal: %d -> %d bytes", before, after)
+	}
+
+	// A disagreeing entry overwrites (last write wins) and counts as a
+	// conflict; the overwrite is journaled.
+	added, conflicts, err = dst.Merge([]KV{{K: "a", V: 9}})
+	if err != nil || added != 0 || conflicts != 1 {
+		t.Fatalf("conflicting merge: added=%d conflicts=%d err=%v", added, conflicts, err)
+	}
+	if v, _ := dst.Get("a"); v != 9 {
+		t.Fatalf("conflict did not overwrite: a = %v", v)
+	}
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Merged state survives reopen like any Put.
+	re, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v, _ := re.Get("a"); v != 9 {
+		t.Fatalf("reopened merged store: a = %v, want 9", v)
+	}
+	if v, _ := re.Get("b"); v != 2 {
+		t.Fatalf("reopened merged store: b = %v, want 2", v)
+	}
+}
+
+func TestStoreSinceMergeShipsWholeStore(t *testing.T) {
+	// The worker-side flow: a store reopened from checkpoint+journal ships
+	// its entire contents from cursor 0, and a fresh receiver reconstructs it
+	// exactly.
+	dir := t.TempDir()
+	src, err := Open(filepath.Join(dir, "worker.json"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Put(Entry("a", 1), Entry("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err = Open(filepath.Join(dir, "worker.json"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	delta, _ := src.Since(0)
+	dst := MemStore()
+	if added, conflicts, err := dst.Merge(delta); err != nil || added != 2 || conflicts != 0 {
+		t.Fatalf("merge of reopened store: added=%d conflicts=%d err=%v", added, conflicts, err)
+	}
+	want := src.Snapshot()
+	got := dst.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %s: merged %v, want %v", k, got[k], v)
+		}
+	}
+}

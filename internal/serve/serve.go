@@ -812,6 +812,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("groups_hedged_total", st.GroupsHedged)
 		emit("groups_requeued_total", st.GroupsRequeued)
 		emit("workers_live", st.WorkersLive)
+		emit("worker_local_hits_total", st.WorkerLocalHits)
+		emit("store_merges_total", st.StoreMerges)
+		emit("store_merge_conflicts_total", st.StoreMergeConflicts)
+		// Per-worker series for the distributed plane (in-process pool
+		// workers carry no address and are skipped — the aggregate gauges
+		// above already cover them).
+		for _, pw := range st.PerWorker {
+			if pw.Addr == "" {
+				continue
+			}
+			emitW := func(metric string, v int64) {
+				fmt.Fprintf(w, "empiricod_farm_worker_%s{scale=%q,worker=%q} %d\n", metric, name, pw.Addr, v)
+			}
+			emitW("slots", pw.Slots)
+			emitW("in_flight", pw.InFlight)
+			emitW("groups_total", pw.Groups)
+			emitW("local_hits_total", pw.LocalHits)
+		}
 		emit("blocks_translated_total", st.BlocksTranslated)
 		emit("translated_instrs_total", st.TranslatedInstrs)
 		emit("slow_path_entries_total", st.SlowPathEntries)
